@@ -1,0 +1,3 @@
+module qframan
+
+go 1.22

@@ -1,0 +1,274 @@
+// Package basis implements the minimal Cartesian-Gaussian atomic-orbital
+// basis of the quantum engine: one s function on hydrogen, s + (px,py,pz) on
+// C/N/O/S. Overlap and dipole integrals and their center derivatives are
+// analytic (Obara–Saika one-dimensional recursions), and functions can be
+// evaluated — with gradients — on real-space grid points for the DFPT
+// density and Hamiltonian phases.
+//
+// All lengths are in bohr and the basis is orthonormalized per function
+// (<χ|χ> = 1); the overlap matrix S is therefore unit-diagonal.
+package basis
+
+import (
+	"math"
+
+	"qframan/internal/constants"
+	"qframan/internal/geom"
+	"qframan/internal/linalg"
+)
+
+// Func is a single normalized Cartesian Gaussian basis function
+// N·(x−Ax)^lx (y−Ay)^ly (z−Az)^lz exp(−α|r−A|²).
+type Func struct {
+	Atom   int // owning atom index within the fragment
+	L      [3]int
+	Alpha  float64
+	Norm   float64
+	Center geom.Vec3 // bohr
+	// OnsiteE is the on-site orbital energy (hartree) used by the
+	// tight-binding Hamiltonian.
+	OnsiteE float64
+}
+
+// doubleFactorial returns (2n−1)!! with the convention (−1)!! = 1.
+func doubleFactorial(n int) float64 {
+	out := 1.0
+	for k := 2*n - 1; k > 1; k -= 2 {
+		out *= float64(k)
+	}
+	return out
+}
+
+// newFunc builds a normalized Gaussian.
+func newFunc(atom int, l [3]int, alpha float64, center geom.Vec3, onsite float64) Func {
+	lt := l[0] + l[1] + l[2]
+	n := math.Pow(2*alpha/math.Pi, 0.75) * math.Pow(4*alpha, float64(lt)/2)
+	n /= math.Sqrt(doubleFactorial(l[0]) * doubleFactorial(l[1]) * doubleFactorial(l[2]))
+	return Func{Atom: atom, L: l, Alpha: alpha, Norm: n, Center: center, OnsiteE: onsite}
+}
+
+// Set is the basis of a fragment.
+type Set struct {
+	Funcs []Func
+	// FirstOfAtom[a] is the index of atom a's first basis function;
+	// functions of an atom are contiguous.
+	FirstOfAtom []int
+	// NumElectrons is the total number of valence electrons.
+	NumElectrons int
+}
+
+// ForAtoms builds the minimal basis for a list of atoms. Positions are in
+// bohr.
+func ForAtoms(els []constants.Element, posBohr []geom.Vec3) *Set {
+	s := &Set{FirstOfAtom: make([]int, len(els))}
+	for a, el := range els {
+		s.FirstOfAtom[a] = len(s.Funcs)
+		alpha := el.GaussianAlpha()
+		s.Funcs = append(s.Funcs, newFunc(a, [3]int{0, 0, 0}, alpha, posBohr[a], el.OnsiteS()))
+		if el.NumOrbitals() == 4 {
+			s.Funcs = append(s.Funcs,
+				newFunc(a, [3]int{1, 0, 0}, alpha, posBohr[a], el.OnsiteP()),
+				newFunc(a, [3]int{0, 1, 0}, alpha, posBohr[a], el.OnsiteP()),
+				newFunc(a, [3]int{0, 0, 1}, alpha, posBohr[a], el.OnsiteP()),
+			)
+		}
+		s.NumElectrons += el.NumValence()
+	}
+	return s
+}
+
+// Size returns the number of basis functions.
+func (s *Set) Size() int { return len(s.Funcs) }
+
+// SupportRadius returns the radius (bohr) beyond which the function is
+// negligible (envelope < 1e−8 of its peak scale).
+func (f *Func) SupportRadius() float64 {
+	return math.Sqrt(19.0 / f.Alpha)
+}
+
+// ValueAt evaluates the function at point p (bohr).
+func (f *Func) ValueAt(p geom.Vec3) float64 {
+	d := p.Sub(f.Center)
+	r2 := d.Norm2()
+	v := f.Norm * math.Exp(-f.Alpha*r2)
+	for k := 0; k < f.L[0]; k++ {
+		v *= d.X
+	}
+	for k := 0; k < f.L[1]; k++ {
+		v *= d.Y
+	}
+	for k := 0; k < f.L[2]; k++ {
+		v *= d.Z
+	}
+	return v
+}
+
+// GradAt evaluates ∇χ at point p (bohr).
+func (f *Func) GradAt(p geom.Vec3) geom.Vec3 {
+	d := p.Sub(f.Center)
+	e := f.Norm * math.Exp(-f.Alpha*d.Norm2())
+	mono := func(x float64, l int) float64 {
+		v := 1.0
+		for k := 0; k < l; k++ {
+			v *= x
+		}
+		return v
+	}
+	px, py, pz := mono(d.X, f.L[0]), mono(d.Y, f.L[1]), mono(d.Z, f.L[2])
+	// d/dx [x^l e^{-αx²}] = (l·x^{l−1} − 2αx^{l+1}) e^{-αx²}
+	dx := -2 * f.Alpha * d.X * px
+	if f.L[0] > 0 {
+		dx += float64(f.L[0]) * mono(d.X, f.L[0]-1)
+	}
+	dy := -2 * f.Alpha * d.Y * py
+	if f.L[1] > 0 {
+		dy += float64(f.L[1]) * mono(d.Y, f.L[1]-1)
+	}
+	dz := -2 * f.Alpha * d.Z * pz
+	if f.L[2] > 0 {
+		dz += float64(f.L[2]) * mono(d.Z, f.L[2]-1)
+	}
+	return geom.V(dx*py*pz*e, px*dy*pz*e, px*py*dz*e)
+}
+
+// os1D computes the Obara–Saika one-dimensional integrals
+// s(i,j) = ∫ (x−A)^i (x−B)^j exp(−α(x−A)² − β(x−B)²) dx
+// for all i ≤ imax, j ≤ jmax, returned as a (imax+1)×(jmax+1) table.
+func os1D(alpha, beta, a, b float64, imax, jmax int) [][]float64 {
+	p := alpha + beta
+	mu := alpha * beta / p
+	pc := (alpha*a + beta*b) / p
+	s := make([][]float64, imax+1)
+	for i := range s {
+		s[i] = make([]float64, jmax+1)
+	}
+	s[0][0] = math.Sqrt(math.Pi/p) * math.Exp(-mu*(a-b)*(a-b))
+	get := func(i, j int) float64 {
+		if i < 0 || j < 0 {
+			return 0
+		}
+		return s[i][j]
+	}
+	// Fill j = 0 column by raising i, then raise j across.
+	for i := 0; i < imax; i++ {
+		s[i+1][0] = (pc-a)*get(i, 0) + float64(i)/(2*p)*get(i-1, 0)
+	}
+	for j := 0; j < jmax; j++ {
+		for i := 0; i <= imax; i++ {
+			s[i][j+1] = (pc-b)*get(i, j) +
+				(float64(i)*get(i-1, j)+float64(j)*get(i, j-1))/(2*p)
+		}
+	}
+	return s
+}
+
+// axes1D returns the per-axis OS tables for a pair of functions, with room
+// for `extra` additional powers on each index (needed by dipole and
+// derivative integrals).
+func axes1D(f, g *Func, extra int) [3][][]float64 {
+	var out [3][][]float64
+	ca := [3]float64{f.Center.X, f.Center.Y, f.Center.Z}
+	cb := [3]float64{g.Center.X, g.Center.Y, g.Center.Z}
+	for ax := 0; ax < 3; ax++ {
+		out[ax] = os1D(f.Alpha, g.Alpha, ca[ax], cb[ax], f.L[ax]+extra, g.L[ax]+extra)
+	}
+	return out
+}
+
+// Overlap returns <f|g>.
+func Overlap(f, g *Func) float64 {
+	t := axes1D(f, g, 0)
+	return f.Norm * g.Norm *
+		t[0][f.L[0]][g.L[0]] * t[1][f.L[1]][g.L[1]] * t[2][f.L[2]][g.L[2]]
+}
+
+// OverlapDeriv returns d<f|g>/dA where A is the center of f.
+// (By translational invariance d/dB = −d/dA.)
+func OverlapDeriv(f, g *Func) geom.Vec3 {
+	t := axes1D(f, g, 1)
+	base := [3]float64{
+		t[0][f.L[0]][g.L[0]],
+		t[1][f.L[1]][g.L[1]],
+		t[2][f.L[2]][g.L[2]],
+	}
+	var d [3]float64
+	for ax := 0; ax < 3; ax++ {
+		i, j := f.L[ax], g.L[ax]
+		// d/dA of the 1D factor: 2α·s(i+1,j) − i·s(i−1,j).
+		dd := 2 * f.Alpha * t[ax][i+1][j]
+		if i > 0 {
+			dd -= float64(i) * t[ax][i-1][j]
+		}
+		prod := dd
+		for o := 0; o < 3; o++ {
+			if o != ax {
+				prod *= base[o]
+			}
+		}
+		d[ax] = prod
+	}
+	n := f.Norm * g.Norm
+	return geom.V(n*d[0], n*d[1], n*d[2])
+}
+
+// Dipole returns <f| r |g> in absolute coordinates (bohr).
+func Dipole(f, g *Func) geom.Vec3 {
+	t := axes1D(f, g, 1)
+	base := [3]float64{
+		t[0][f.L[0]][g.L[0]],
+		t[1][f.L[1]][g.L[1]],
+		t[2][f.L[2]][g.L[2]],
+	}
+	ca := [3]float64{f.Center.X, f.Center.Y, f.Center.Z}
+	var d [3]float64
+	for ax := 0; ax < 3; ax++ {
+		i, j := f.L[ax], g.L[ax]
+		// x = (x−A) + A ⇒ <x> factor = s(i+1,j) + A·s(i,j).
+		mom := t[ax][i+1][j] + ca[ax]*t[ax][i][j]
+		prod := mom
+		for o := 0; o < 3; o++ {
+			if o != ax {
+				prod *= base[o]
+			}
+		}
+		d[ax] = prod
+	}
+	n := f.Norm * g.Norm
+	return geom.V(n*d[0], n*d[1], n*d[2])
+}
+
+// OverlapMatrix returns the full overlap matrix S.
+func (s *Set) OverlapMatrix() *linalg.Matrix {
+	n := s.Size()
+	m := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, Overlap(&s.Funcs[i], &s.Funcs[i]))
+		for j := i + 1; j < n; j++ {
+			v := Overlap(&s.Funcs[i], &s.Funcs[j])
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+// DipoleMatrices returns the three Cartesian dipole matrices D^x, D^y, D^z
+// with D^k_ij = <i| r_k |j>.
+func (s *Set) DipoleMatrices() [3]*linalg.Matrix {
+	n := s.Size()
+	var out [3]*linalg.Matrix
+	for k := range out {
+		out[k] = linalg.NewMatrix(n, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			d := Dipole(&s.Funcs[i], &s.Funcs[j])
+			v := [3]float64{d.X, d.Y, d.Z}
+			for k := 0; k < 3; k++ {
+				out[k].Set(i, j, v[k])
+				out[k].Set(j, i, v[k])
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"qframan/internal/fragment"
+	"qframan/internal/raman"
+	"qframan/internal/structure"
+)
+
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Raman.FreqMin, cfg.Raman.FreqMax, cfg.Raman.FreqStep = 200, 4000, 10
+	cfg.Raman.Sigma = 30
+	cfg.Raman.LanczosK = 40
+	return cfg
+}
+
+func TestComputeRamanWaterDimers(t *testing.T) {
+	sys := structure.BuildWaterDimerSystem(2)
+	res, err := ComputeRaman(sys, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spectrum == nil || len(res.Spectrum.Intensity) == 0 {
+		t.Fatal("no spectrum produced")
+	}
+	// The O–H stretch region must dominate a water spectrum.
+	peakAt := func(s *raman.Spectrum) float64 {
+		best, bestI := 0.0, 0.0
+		for i, v := range s.Intensity {
+			if v > bestI {
+				bestI = v
+				best = s.Freq[i]
+			}
+		}
+		return best
+	}
+	p := peakAt(res.Spectrum)
+	if p < 1500 || p > 3900 {
+		t.Fatalf("spectrum peak at %v cm⁻¹ — expected a vibrational band", p)
+	}
+	if res.Global.H.Dim() != 3*sys.NumAtoms() {
+		t.Fatalf("global Hessian dimension %d", res.Global.H.Dim())
+	}
+	if res.SchedReport == nil || res.SchedReport.NumTasks == 0 {
+		t.Fatal("scheduler report missing")
+	}
+}
+
+func TestQFMatchesDirectSmallPeptide(t *testing.T) {
+	// End-to-end validation: the fragmented spectrum of a small peptide
+	// must closely match the direct (unfragmented) spectrum.
+	if testing.Short() {
+		t.Skip("direct comparison is expensive")
+	}
+	sys, err := structure.BuildProtein("GAG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig()
+	cfg.UseDense = true
+
+	// QF path: with 3 residues the decomposition is a single whole-chain
+	// fragment, so force a finer fragmentation via 4 residues.
+	sys4, err := structure.BuildProtein("GAGA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sys
+	resQF, err := ComputeRaman(sys4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resQF.Decomposition.Stats.NumConcaps == 0 {
+		t.Fatal("expected a real fragmentation (with concaps)")
+	}
+
+	// Direct path: single fragment covering the whole chain.
+	direct := directDecomposition(sys4)
+	resDirect, err := ComputeRamanDecomposed(sys4, direct, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sim := raman.CosineSimilarity(resQF.Spectrum, resDirect.Spectrum)
+	if sim < 0.85 {
+		t.Fatalf("QF vs direct spectrum cosine similarity %v", sim)
+	}
+}
+
+// directDecomposition wraps the whole system as one fragment.
+func directDecomposition(sys *structure.System) *fragment.Decomposition {
+	f := fragment.Fragment{NumReal: sys.NumAtoms(), Coeff: 1}
+	f.Pos = sys.Positions()
+	for _, a := range sys.Atoms {
+		f.Els = append(f.Els, a.El)
+	}
+	for i := 0; i < sys.NumAtoms(); i++ {
+		f.GlobalIdx = append(f.GlobalIdx, i)
+	}
+	d := &fragment.Decomposition{Fragments: []fragment.Fragment{f}}
+	return d
+}
+
+func TestComputeRamanRejectsEmpty(t *testing.T) {
+	sys := &structure.System{}
+	if _, err := ComputeRaman(sys, DefaultConfig()); err == nil {
+		t.Fatal("accepted empty system")
+	}
+}
+
+func TestHessianOnlyRun(t *testing.T) {
+	sys := structure.BuildWaterDimerSystem(1)
+	cfg := fastConfig()
+	cfg.Sched.Job.SkipAlpha = true
+	res, err := ComputeRaman(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spectrum != nil {
+		t.Fatal("Hessian-only run produced a spectrum")
+	}
+	if res.Global.H.NNZ() == 0 {
+		t.Fatal("empty Hessian")
+	}
+}

@@ -1,0 +1,29 @@
+package dfpt
+
+import "testing"
+
+func BenchmarkPolarizabilityGamma(b *testing.B) {
+	m, res := benchModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Polarizability(m, res, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPolarizabilityGridCycle(b *testing.B) {
+	m, res := benchModel(b)
+	opt := DefaultOptions()
+	opt.Coulomb = GridCoulomb
+	opt.GridSpacing = 0.8
+	opt.GridMargin = 4.0
+	opt.Tol = 1e12 // single cycle: the paper's "DFPT time per cycle"
+	opt.MaxIter = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Polarizability(m, res, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package dfpt
+
+import (
+	"math"
+	"testing"
+
+	"qframan/internal/constants"
+	"qframan/internal/geom"
+	"qframan/internal/linalg"
+	"qframan/internal/scf"
+)
+
+func waterModel(t *testing.T) (*scf.Model, *scf.Result) {
+	t.Helper()
+	theta := 104.52 * math.Pi / 180
+	els := []constants.Element{constants.O, constants.H, constants.H}
+	pos := []geom.Vec3{
+		{},
+		geom.V(0.9572, 0, 0),
+		geom.V(0.9572*math.Cos(theta), 0.9572*math.Sin(theta), 0),
+	}
+	m, err := scf.NewModel(els, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.SolveSCF(scf.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, res
+}
+
+func methaneModel(t *testing.T) (*scf.Model, *scf.Result) {
+	t.Helper()
+	d := 1.09 / math.Sqrt(3)
+	els := []constants.Element{constants.C, constants.H, constants.H, constants.H, constants.H}
+	pos := []geom.Vec3{
+		{},
+		geom.V(d, d, d), geom.V(d, -d, -d), geom.V(-d, d, -d), geom.V(-d, -d, d),
+	}
+	m, err := scf.NewModel(els, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.SolveSCF(scf.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, res
+}
+
+// finiteFieldAlpha computes α by numerical differentiation of the dipole
+// under a small field — the ground-truth for the γ-mode DFPT.
+func finiteFieldAlpha(t *testing.T, m *scf.Model) [3][3]float64 {
+	t.Helper()
+	const e = 2e-4
+	var alpha [3][3]float64
+	for j := 0; j < 3; j++ {
+		field := geom.Vec3{}
+		switch j {
+		case 0:
+			field.X = e
+		case 1:
+			field.Y = e
+		case 2:
+			field.Z = e
+		}
+		opt := scf.DefaultOptions()
+		opt.Tol = 1e-11
+		opt.Field = field
+		rp, err := m.SolveSCF(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Field = field.Scale(-1)
+		rm, err := m.SolveSCF(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp := m.Dipole(rp).Sub(m.Dipole(rm)).Scale(1 / (2 * e))
+		alpha[0][j], alpha[1][j], alpha[2][j] = dp.X, dp.Y, dp.Z
+	}
+	return alpha
+}
+
+func TestGammaDFPTMatchesFiniteField(t *testing.T) {
+	m, res := waterModel(t)
+	opt := DefaultOptions()
+	opt.Tol = 1e-10
+	resp, err := Polarizability(m, res, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := finiteFieldAlpha(t, m)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if d := math.Abs(resp.Alpha[i][j] - want[i][j]); d > 5e-5 {
+				t.Errorf("α[%d][%d]: DFPT %v vs finite-field %v", i, j, resp.Alpha[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestAlphaSymmetricAndPositive(t *testing.T) {
+	m, res := waterModel(t)
+	resp, err := Polarizability(m, res, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if d := math.Abs(resp.Alpha[i][j] - resp.Alpha[j][i]); d > 1e-6 {
+				t.Errorf("α asymmetry [%d][%d]: %g", i, j, d)
+			}
+		}
+	}
+	// Eigenvalues of α must be positive (stable ground state).
+	a := linalg.NewMatrix(3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			a.Set(i, j, resp.Alpha[i][j])
+		}
+	}
+	a.Symmetrize()
+	vals, _ := linalg.EigSym(a)
+	for _, v := range vals {
+		if v <= 0 {
+			t.Fatalf("non-positive polarizability eigenvalue %v (all: %v)", v, vals)
+		}
+	}
+}
+
+func TestAlphaRotationCovariance(t *testing.T) {
+	m, res := waterModel(t)
+	resp, err := Polarizability(m, res, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rotate the molecule and recompute; mean polarizability is invariant.
+	theta := 104.52 * math.Pi / 180
+	axis := geom.V(0.3, 1.1, -0.7)
+	pos := []geom.Vec3{
+		{},
+		geom.V(0.9572, 0, 0),
+		geom.V(0.9572*math.Cos(theta), 0.9572*math.Sin(theta), 0),
+	}
+	for i := range pos {
+		pos[i] = geom.RotateAbout(pos[i], geom.Vec3{}, axis, 1.1)
+	}
+	m2, err := scf.NewModel([]constants.Element{constants.O, constants.H, constants.H}, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := m2.SolveSCF(scf.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := Polarizability(m2, res2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(resp.MeanPolarizability() - resp2.MeanPolarizability()); d > 1e-5 {
+		t.Fatalf("mean polarizability changed under rotation by %g", d)
+	}
+}
+
+func TestMethaneAlphaIsotropic(t *testing.T) {
+	m, res := methaneModel(t)
+	resp, err := Polarizability(m, res, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := resp.MeanPolarizability()
+	for i := 0; i < 3; i++ {
+		if math.Abs(resp.Alpha[i][i]-mean)/mean > 1e-4 {
+			t.Errorf("methane α[%d][%d]=%v deviates from mean %v", i, i, resp.Alpha[i][i], mean)
+		}
+		for j := 0; j < 3; j++ {
+			if i != j && math.Abs(resp.Alpha[i][j])/mean > 1e-4 {
+				t.Errorf("methane off-diagonal α[%d][%d]=%v", i, j, resp.Alpha[i][j])
+			}
+		}
+	}
+}
+
+func gridOptions() Options {
+	opt := DefaultOptions()
+	opt.Coulomb = GridCoulomb
+	opt.GridSpacing = 0.55
+	opt.GridMargin = 6.0
+	opt.Tol = 1e-6
+	return opt
+}
+
+func TestGridModeRuns(t *testing.T) {
+	m, res := waterModel(t)
+	resp, err := Polarizability(m, res, gridOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same order of magnitude as the γ-mode reference.
+	gres, err := Polarizability(m, res, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := resp.MeanPolarizability() / gres.MeanPolarizability()
+	if r < 0.3 || r > 3 {
+		t.Fatalf("grid-mode ᾱ=%v vs γ-mode ᾱ=%v: ratio %v out of range",
+			resp.MeanPolarizability(), gres.MeanPolarizability(), r)
+	}
+	// Phase metrics must be populated.
+	met := resp.Metrics
+	if met.GEMMsN1 == 0 || met.GEMMsH1 == 0 || met.FLOPsN1 == 0 || met.FLOPsH1 == 0 {
+		t.Fatalf("grid phase metrics empty: %+v", met)
+	}
+	if met.PoissonIters == 0 {
+		t.Fatal("no Poisson iterations recorded")
+	}
+	if met.TimeN1 == 0 || met.TimeV1 == 0 || met.TimeH1 == 0 || met.TimeP1 == 0 {
+		t.Fatal("phase timings empty")
+	}
+	// ∫∇n⁽¹⁾ diagnostic stays small.
+	if math.Abs(met.GradN1Integral) > 1e-3*float64(resp.Cycles) {
+		t.Fatalf("∫∇n1 = %v too large", met.GradN1Integral)
+	}
+}
+
+func TestStrengthReductionExactness(t *testing.T) {
+	// The symmetry-reduced kernels (Fig. 6) must give bit-near-identical
+	// polarizabilities with strictly fewer GEMM invocations.
+	m, res := waterModel(t)
+
+	optR := gridOptions()
+	optR.StrengthReduction = true
+	respR, err := Polarizability(m, res, optR)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	optN := gridOptions()
+	optN.StrengthReduction = false
+	respN, err := Polarizability(m, res, optN)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if d := math.Abs(respR.Alpha[i][j] - respN.Alpha[i][j]); d > 1e-9 {
+				t.Errorf("α[%d][%d] differs between reduced and naive kernels by %g", i, j, d)
+			}
+		}
+	}
+	// GEMM reduction: naive issues 2 GEMMs per batch in phase 2 and 3 in
+	// phase 4; reduced issues 1 and 1.
+	if respR.Metrics.GEMMsN1*2 > respN.Metrics.GEMMsN1 {
+		t.Errorf("phase-2 GEMMs: reduced %d vs naive %d — expected 2× reduction",
+			respR.Metrics.GEMMsN1, respN.Metrics.GEMMsN1)
+	}
+	if respR.Metrics.GEMMsH1*2 > respN.Metrics.GEMMsH1 {
+		t.Errorf("phase-4 GEMMs: reduced %d vs naive %d — expected 3× reduction",
+			respR.Metrics.GEMMsH1, respN.Metrics.GEMMsH1)
+	}
+	if respR.Metrics.FLOPsN1 >= respN.Metrics.FLOPsN1 {
+		t.Error("strength reduction did not reduce phase-2 FLOPs")
+	}
+}
+
+func TestInvalidDFPTOptions(t *testing.T) {
+	m, res := waterModel(t)
+	for _, opt := range []Options{
+		{MaxIter: 0, Tol: 1e-7, Mixing: 0.5},
+		{MaxIter: 10, Tol: 0, Mixing: 0.5},
+		{MaxIter: 10, Tol: 1e-7, Mixing: 0},
+	} {
+		if _, err := Polarizability(m, res, opt); err == nil {
+			t.Errorf("accepted options %+v", opt)
+		}
+	}
+	bad := gridOptions()
+	bad.GridSpacing = -1
+	if _, err := Polarizability(m, res, bad); err == nil {
+		t.Error("accepted negative grid spacing")
+	}
+}
+
+func TestResponseP1Traceless(t *testing.T) {
+	// tr(P⁽¹⁾·S) = 0: a field does not change the electron count.
+	m, res := waterModel(t)
+	resp, err := Polarizability(m, res, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 3; d++ {
+		tr := 0.0
+		n := m.Basis.Size()
+		for i := 0; i < n; i++ {
+			tr += linalg.Dot(resp.P1[d].Row(i), m.S.Row(i))
+		}
+		if math.Abs(tr) > 1e-8 {
+			t.Errorf("direction %d: tr(P1·S) = %g", d, tr)
+		}
+	}
+}
+
+// benchModel builds the shared benchmark fragment (water).
+func benchModel(tb testing.TB) (*scf.Model, *scf.Result) {
+	theta := 104.52 * math.Pi / 180
+	els := []constants.Element{constants.O, constants.H, constants.H}
+	pos := []geom.Vec3{
+		{},
+		geom.V(0.9572, 0, 0),
+		geom.V(0.9572*math.Cos(theta), 0.9572*math.Sin(theta), 0),
+	}
+	m, err := scf.NewModel(els, pos)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res, err := m.SolveSCF(scf.DefaultOptions())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m, res
+}

@@ -1,0 +1,41 @@
+package fragment
+
+import (
+	"testing"
+
+	"qframan/internal/geom"
+	"qframan/internal/structure"
+)
+
+func BenchmarkDecomposeProtein(b *testing.B) {
+	seq := structure.RandomSequence(200, 5)
+	sys, err := structure.BuildProteinFolded(seq, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(sys.NumAtoms()), "atoms")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(sys, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecomposeWaterBox(b *testing.B) {
+	sys := structure.BuildWaterBox(12, 12, 12, geom.Vec3{})
+	b.ReportMetric(float64(sys.NumAtoms()), "atoms")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(sys, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWaterBoxStatsStreaming(b *testing.B) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WaterBoxStats(40, 40, 40, 4.0)
+	}
+}

@@ -1,0 +1,229 @@
+package fragment
+
+import (
+	"sort"
+
+	"qframan/internal/constants"
+	"qframan/internal/geom"
+	"qframan/internal/structure"
+)
+
+// Hydrogen cap bond lengths in Å, by the element of the retained atom.
+func capBondLength(el constants.Element) float64 {
+	switch el {
+	case constants.C:
+		return 1.09
+	case constants.N:
+		return 1.01
+	case constants.O:
+		return 0.96
+	case constants.S:
+		return 1.34
+	}
+	return 1.0
+}
+
+// extractor pulls fragments out of a parent system.
+type extractor struct {
+	sys *structure.System
+}
+
+func newExtractor(sys *structure.System) *extractor {
+	return &extractor{sys: sys}
+}
+
+// extract builds a fragment from whole protein residues (indices into
+// sys.Residues) and whole waters (indices into sys.Waters). Peptide bonds
+// from included residues to excluded chain neighbors are cut and terminated
+// with hydrogen caps placed along the original bond direction.
+func (ex *extractor) extract(kind Kind, coeff float64, residues, waters []int) Fragment {
+	sys := ex.sys
+	f := Fragment{Kind: kind, Coeff: coeff}
+
+	resIncluded := make(map[int]bool, len(residues))
+	for _, r := range residues {
+		resIncluded[r] = true
+	}
+	sorted := append([]int(nil), residues...)
+	sort.Ints(sorted)
+
+	addAtom := func(global int) {
+		a := sys.Atoms[global]
+		f.Els = append(f.Els, a.El)
+		f.Pos = append(f.Pos, a.Pos)
+		f.GlobalIdx = append(f.GlobalIdx, global)
+	}
+	for _, r := range sorted {
+		res := sys.Residues[r]
+		for i := res.First; i < res.First+res.Count; i++ {
+			addAtom(i)
+		}
+	}
+	for _, w := range waters {
+		wr := sys.Waters[w]
+		for i := wr.First; i < wr.First+wr.Count; i++ {
+			addAtom(i)
+		}
+	}
+	f.NumReal = len(f.Els)
+
+	// Hydrogen caps for cut peptide bonds. A residue r is cut on the left
+	// when r−1 exists in the same chain but not in the fragment (cap the
+	// N), and on the right when r+1 exists in the same chain but is
+	// excluded (cap the C).
+	addCap := func(keepIdx, removedIdx int) {
+		keep := sys.Atoms[keepIdx]
+		removed := sys.Atoms[removedIdx]
+		dir := removed.Pos.Sub(keep.Pos).Normalize()
+		f.Els = append(f.Els, constants.H)
+		f.Pos = append(f.Pos, keep.Pos.Add(dir.Scale(capBondLength(keep.El))))
+		f.GlobalIdx = append(f.GlobalIdx, -1)
+	}
+	sameChain := func(a, b int) bool {
+		return sys.Residues[a].Chain == sys.Residues[b].Chain
+	}
+	for _, r := range sorted {
+		if r > 0 && !resIncluded[r-1] && sameChain(r, r-1) {
+			addCap(sys.Residues[r].N, sys.Residues[r-1].C)
+		}
+		if r < len(sys.Residues)-1 && !resIncluded[r+1] && sameChain(r, r+1) {
+			addCap(sys.Residues[r].C, sys.Residues[r+1].N)
+		}
+	}
+	return f
+}
+
+// pairLists holds the detected two-body partners.
+type pairLists struct {
+	rr [][2]int // residue index pairs, i<j, |i−j| ≥ MinSeqSeparation
+	rw [][2]int // (residue index, water index)
+	ww [][2]int // water index pairs, i<j
+}
+
+// findPairs detects all two-body partners within the λ thresholds using a
+// single cell-list pass over all atoms at the largest threshold, classifying
+// each close atom pair by the owners of its endpoints.
+//
+// Distance criteria follow Eq. 1 of the paper: residue–residue pairs use the
+// minimal distance between any two atoms ("spatially in close contact"),
+// while water positions are represented by their oxygen (|r_w| in Eq. 1 is a
+// per-molecule coordinate), so residue–water and water–water pairs measure
+// to/between oxygens.
+func findPairs(sys *structure.System, opt Options) pairLists {
+	maxLambda := opt.LambdaRR
+	if opt.LambdaRW > maxLambda {
+		maxLambda = opt.LambdaRW
+	}
+	if opt.LambdaWW > maxLambda {
+		maxLambda = opt.LambdaWW
+	}
+	var out pairLists
+	if maxLambda <= 0 || sys.NumAtoms() == 0 {
+		return out
+	}
+
+	// owner[i] = (isWater, index, isOxygen) for every atom.
+	type owner struct {
+		water  bool
+		idx    int
+		oxygen bool
+	}
+	owners := make([]owner, sys.NumAtoms())
+	for ri, r := range sys.Residues {
+		for i := r.First; i < r.First+r.Count; i++ {
+			owners[i] = owner{false, ri, false}
+		}
+	}
+	for wi, w := range sys.Waters {
+		for i := w.First; i < w.First+w.Count; i++ {
+			owners[i] = owner{true, wi, i == w.First}
+		}
+	}
+
+	seenRR := map[[2]int]bool{}
+	seenRW := map[[2]int]bool{}
+	seenWW := map[[2]int]bool{}
+	lrr2 := opt.LambdaRR * opt.LambdaRR
+	lrw2 := opt.LambdaRW * opt.LambdaRW
+	lww2 := opt.LambdaWW * opt.LambdaWW
+
+	cl := geom.NewCellList(sys.Positions(), maxLambda)
+	cl.ForEachPair(func(i, j int, d2 float64) {
+		oi, oj := owners[i], owners[j]
+		switch {
+		case !oi.water && !oj.water:
+			a, b := oi.idx, oj.idx
+			if a > b {
+				a, b = b, a
+			}
+			// Cross-chain residue pairs are always sequentially
+			// non-neighboring; within a chain the caps already cover
+			// close-in-sequence neighbors.
+			if sys.Residues[a].Chain == sys.Residues[b].Chain && b-a < opt.MinSeqSeparation {
+				return
+			}
+			if d2 > lrr2 {
+				return
+			}
+			key := [2]int{a, b}
+			if !seenRR[key] {
+				seenRR[key] = true
+				out.rr = append(out.rr, key)
+			}
+		case oi.water != oj.water:
+			var r, w int
+			if oi.water {
+				if !oi.oxygen {
+					return // water measured at its oxygen
+				}
+				r, w = oj.idx, oi.idx
+			} else {
+				if !oj.oxygen {
+					return
+				}
+				r, w = oi.idx, oj.idx
+			}
+			if d2 > lrw2 {
+				return
+			}
+			key := [2]int{r, w}
+			if !seenRW[key] {
+				seenRW[key] = true
+				out.rw = append(out.rw, key)
+			}
+		default:
+			if !oi.oxygen || !oj.oxygen {
+				return // O–O distance defines water–water pairs
+			}
+			a, b := oi.idx, oj.idx
+			if a == b {
+				return
+			}
+			if a > b {
+				a, b = b, a
+			}
+			if d2 > lww2 {
+				return
+			}
+			key := [2]int{a, b}
+			if !seenWW[key] {
+				seenWW[key] = true
+				out.ww = append(out.ww, key)
+			}
+		}
+	})
+
+	sortPairs(out.rr)
+	sortPairs(out.rw)
+	sortPairs(out.ww)
+	return out
+}
+
+func sortPairs(p [][2]int) {
+	sort.Slice(p, func(i, j int) bool {
+		if p[i][0] != p[j][0] {
+			return p[i][0] < p[j][0]
+		}
+		return p[i][1] < p[j][1]
+	})
+}

@@ -1,0 +1,62 @@
+package fragment
+
+import (
+	"qframan/internal/geom"
+	"qframan/internal/structure"
+)
+
+// WaterBoxStats reproduces the paper's §VI-A headline statistics for a pure
+// water box of nx×ny×nz molecules — number of one-body water fragments and
+// water–water two-body pairs within λ — in streaming fashion, without ever
+// materializing the atoms. This is how the repository handles the
+// 101,250,000-atom water system: the box is generated procedurally and only
+// counters are kept.
+//
+// The returned atom count is 3·nx·ny·nz.
+func WaterBoxStats(nx, ny, nz int, lambda float64) (atoms, waterFragments, wwPairs int64) {
+	atoms = int64(nx) * int64(ny) * int64(nz) * 3
+	waterFragments = int64(nx) * int64(ny) * int64(nz)
+
+	// Two molecules are a pair when their O–O distance is ≤ λ (Eq. 1
+	// measures waters at their molecular position). Molecules sit on a
+	// jittered lattice, so only sites within a small Chebyshev radius can
+	// qualify.
+	maxReach := lambda + 2*0.3 // jitter of each oxygen
+	chev := int(maxReach/3.0) + 1
+
+	// Forward half of the neighbor offsets so each pair is counted once.
+	type off struct{ dx, dy, dz int }
+	var offs []off
+	for dz := -chev; dz <= chev; dz++ {
+		for dy := -chev; dy <= chev; dy++ {
+			for dx := -chev; dx <= chev; dx++ {
+				if dz > 0 || (dz == 0 && dy > 0) || (dz == 0 && dy == 0 && dx > 0) {
+					offs = append(offs, off{dx, dy, dz})
+				}
+			}
+		}
+	}
+
+	l2 := lambda * lambda
+	oxygen := func(ix, iy, iz int) geom.Vec3 {
+		o, _, _ := structure.WaterSite(ix, iy, iz)
+		return o
+	}
+	for iz := 0; iz < nz; iz++ {
+		for iy := 0; iy < ny; iy++ {
+			for ix := 0; ix < nx; ix++ {
+				a := oxygen(ix, iy, iz)
+				for _, d := range offs {
+					jx, jy, jz := ix+d.dx, iy+d.dy, iz+d.dz
+					if jx < 0 || jx >= nx || jy < 0 || jy >= ny || jz < 0 || jz >= nz {
+						continue
+					}
+					if a.Dist2(oxygen(jx, jy, jz)) <= l2 {
+						wwPairs++
+					}
+				}
+			}
+		}
+	}
+	return atoms, waterFragments, wwPairs
+}

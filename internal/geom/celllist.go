@@ -1,0 +1,164 @@
+package geom
+
+import "math"
+
+// CellList is a uniform spatial hash over points, providing linear-time
+// enumeration of all pairs within a cutoff. The fragmentation stage uses it
+// to find generalized-concap partners and solvent two-body pairs, where an
+// O(N²) scan would be hopeless at millions of atoms.
+type CellList struct {
+	origin     Vec3
+	cell       float64 // cell edge length == cutoff
+	nx, ny, nz int
+	heads      []int32 // head index per cell, −1 when empty
+	next       []int32 // linked list through points
+	points     []Vec3
+}
+
+// NewCellList builds a cell list over points with the given cutoff
+// (cell edge). Points may be in any bounded region; the grid adapts to the
+// bounding box. cutoff must be positive.
+func NewCellList(points []Vec3, cutoff float64) *CellList {
+	if cutoff <= 0 {
+		panic("geom: NewCellList cutoff must be positive")
+	}
+	cl := &CellList{cell: cutoff, points: points}
+	if len(points) == 0 {
+		cl.nx, cl.ny, cl.nz = 1, 1, 1
+		cl.heads = []int32{-1}
+		return cl
+	}
+	lo := points[0]
+	hi := points[0]
+	for _, p := range points[1:] {
+		lo.X = math.Min(lo.X, p.X)
+		lo.Y = math.Min(lo.Y, p.Y)
+		lo.Z = math.Min(lo.Z, p.Z)
+		hi.X = math.Max(hi.X, p.X)
+		hi.Y = math.Max(hi.Y, p.Y)
+		hi.Z = math.Max(hi.Z, p.Z)
+	}
+	cl.origin = lo
+	dim := func(span float64) int {
+		n := int(span/cutoff) + 1
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	cl.nx = dim(hi.X - lo.X)
+	cl.ny = dim(hi.Y - lo.Y)
+	cl.nz = dim(hi.Z - lo.Z)
+	cl.heads = make([]int32, cl.nx*cl.ny*cl.nz)
+	for i := range cl.heads {
+		cl.heads[i] = -1
+	}
+	cl.next = make([]int32, len(points))
+	for i, p := range points {
+		c := cl.cellIndex(p)
+		cl.next[i] = cl.heads[c]
+		cl.heads[c] = int32(i)
+	}
+	return cl
+}
+
+func (cl *CellList) cellCoords(p Vec3) (int, int, int) {
+	ix := int((p.X - cl.origin.X) / cl.cell)
+	iy := int((p.Y - cl.origin.Y) / cl.cell)
+	iz := int((p.Z - cl.origin.Z) / cl.cell)
+	clamp := func(v, n int) int {
+		if v < 0 {
+			return 0
+		}
+		if v >= n {
+			return n - 1
+		}
+		return v
+	}
+	return clamp(ix, cl.nx), clamp(iy, cl.ny), clamp(iz, cl.nz)
+}
+
+func (cl *CellList) cellIndex(p Vec3) int {
+	ix, iy, iz := cl.cellCoords(p)
+	return (iz*cl.ny+iy)*cl.nx + ix
+}
+
+// ForEachPair invokes fn(i, j, d2) once per unordered pair (i < j) whose
+// squared distance d2 is ≤ cutoff². Iteration order is deterministic for a
+// fixed input.
+func (cl *CellList) ForEachPair(fn func(i, j int, d2 float64)) {
+	r2 := cl.cell * cl.cell
+	for cz := 0; cz < cl.nz; cz++ {
+		for cy := 0; cy < cl.ny; cy++ {
+			for cx := 0; cx < cl.nx; cx++ {
+				c := (cz*cl.ny+cy)*cl.nx + cx
+				for i := cl.heads[c]; i >= 0; i = cl.next[i] {
+					// Pairs within the same cell.
+					for j := cl.next[i]; j >= 0; j = cl.next[j] {
+						cl.emit(int(i), int(j), r2, fn)
+					}
+					// Pairs with forward half of the 26 neighbors.
+					for _, d := range forwardNeighbors {
+						nx, ny, nz := cx+d[0], cy+d[1], cz+d[2]
+						if nx < 0 || nx >= cl.nx || ny < 0 || ny >= cl.ny || nz < 0 || nz >= cl.nz {
+							continue
+						}
+						nc := (nz*cl.ny+ny)*cl.nx + nx
+						for j := cl.heads[nc]; j >= 0; j = cl.next[j] {
+							cl.emit(int(i), int(j), r2, fn)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (cl *CellList) emit(i, j int, r2 float64, fn func(i, j int, d2 float64)) {
+	d2 := cl.points[i].Dist2(cl.points[j])
+	if d2 <= r2 {
+		a, b := i, j
+		if a > b {
+			a, b = b, a
+		}
+		fn(a, b, d2)
+	}
+}
+
+// Neighbors returns the indices of all points within cutoff of p,
+// excluding exact index self (pass −1 to keep all).
+func (cl *CellList) Neighbors(p Vec3, self int) []int {
+	r2 := cl.cell * cl.cell
+	cx, cy, cz := cl.cellCoords(p)
+	var out []int
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny, nz := cx+dx, cy+dy, cz+dz
+				if nx < 0 || nx >= cl.nx || ny < 0 || ny >= cl.ny || nz < 0 || nz >= cl.nz {
+					continue
+				}
+				c := (nz*cl.ny+ny)*cl.nx + nx
+				for i := cl.heads[c]; i >= 0; i = cl.next[i] {
+					if int(i) == self {
+						continue
+					}
+					if cl.points[i].Dist2(p) <= r2 {
+						out = append(out, int(i))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// forwardNeighbors is the 13-cell "forward" half of the 26 neighbor offsets,
+// chosen so each cell pair is visited exactly once.
+var forwardNeighbors = [13][3]int{
+	{1, 0, 0},
+	{-1, 1, 0}, {0, 1, 0}, {1, 1, 0},
+	{-1, -1, 1}, {0, -1, 1}, {1, -1, 1},
+	{-1, 0, 1}, {0, 0, 1}, {1, 0, 1},
+	{-1, 1, 1}, {0, 1, 1}, {1, 1, 1},
+}

@@ -1,0 +1,152 @@
+// Package grid provides the uniform real-space integration grid of the
+// quantum engine. Following the paper's real-space DFPT design, the grid is
+// partitioned into small batches of points; each batch only "sees" the basis
+// functions whose support intersects it, so the density and Hamiltonian
+// integrations become many small GEMMs — the workload profile that the
+// paper's elastic offloading scheme (§V-C) is built to batch.
+package grid
+
+import (
+	"math"
+
+	"qframan/internal/basis"
+	"qframan/internal/geom"
+)
+
+// Grid is a uniform Cartesian grid. All lengths in bohr.
+type Grid struct {
+	Origin     geom.Vec3
+	H          float64 // spacing
+	Nx, Ny, Nz int
+}
+
+// Cover builds a grid covering all points with the given margin on every
+// side and spacing h.
+func Cover(points []geom.Vec3, margin, h float64) *Grid {
+	if len(points) == 0 || h <= 0 || margin < 0 {
+		panic("grid: Cover needs points, positive spacing, non-negative margin")
+	}
+	lo, hi := points[0], points[0]
+	for _, p := range points[1:] {
+		lo.X = math.Min(lo.X, p.X)
+		lo.Y = math.Min(lo.Y, p.Y)
+		lo.Z = math.Min(lo.Z, p.Z)
+		hi.X = math.Max(hi.X, p.X)
+		hi.Y = math.Max(hi.Y, p.Y)
+		hi.Z = math.Max(hi.Z, p.Z)
+	}
+	lo = lo.Sub(geom.V(margin, margin, margin))
+	hi = hi.Add(geom.V(margin, margin, margin))
+	n := func(span float64) int { return int(math.Ceil(span/h)) + 1 }
+	return &Grid{
+		Origin: lo,
+		H:      h,
+		Nx:     n(hi.X - lo.X),
+		Ny:     n(hi.Y - lo.Y),
+		Nz:     n(hi.Z - lo.Z),
+	}
+}
+
+// NumPoints returns the total number of grid points.
+func (g *Grid) NumPoints() int { return g.Nx * g.Ny * g.Nz }
+
+// Weight returns the integration weight per point, h³.
+func (g *Grid) Weight() float64 { return g.H * g.H * g.H }
+
+// Index maps (ix,iy,iz) to the linear index (x fastest).
+func (g *Grid) Index(ix, iy, iz int) int { return (iz*g.Ny+iy)*g.Nx + ix }
+
+// Coords inverts Index.
+func (g *Grid) Coords(i int) (ix, iy, iz int) {
+	ix = i % g.Nx
+	iy = (i / g.Nx) % g.Ny
+	iz = i / (g.Nx * g.Ny)
+	return
+}
+
+// Point returns the position of linear index i.
+func (g *Grid) Point(i int) geom.Vec3 {
+	ix, iy, iz := g.Coords(i)
+	return g.PointAt(ix, iy, iz)
+}
+
+// PointAt returns the position of grid node (ix,iy,iz).
+func (g *Grid) PointAt(ix, iy, iz int) geom.Vec3 {
+	return g.Origin.Add(geom.V(float64(ix)*g.H, float64(iy)*g.H, float64(iz)*g.H))
+}
+
+// Batch is a contiguous block of grid points together with the indices of
+// the basis functions whose support touches it.
+type Batch struct {
+	// Indices are the linear grid indices of the batch's points.
+	Indices []int
+	// Funcs are basis-function indices (into the Set) relevant on this
+	// batch; empty batches (no relevant functions) are omitted entirely.
+	Funcs []int
+}
+
+// Batches partitions the grid into cubes of side points per axis and
+// assigns to each the basis functions whose support sphere intersects the
+// cube. Batches with no relevant functions are skipped — they contribute
+// nothing to densities or matrix elements.
+func (g *Grid) Batches(side int, set *basis.Set) []Batch {
+	if side <= 0 {
+		panic("grid: batch side must be positive")
+	}
+	bx := (g.Nx + side - 1) / side
+	by := (g.Ny + side - 1) / side
+	bz := (g.Nz + side - 1) / side
+	funcsOf := make([][]int, bx*by*bz)
+
+	clamp := func(v, n int) int {
+		if v < 0 {
+			return 0
+		}
+		if v >= n {
+			return n - 1
+		}
+		return v
+	}
+	for fi := range set.Funcs {
+		f := &set.Funcs[fi]
+		r := f.SupportRadius()
+		// Batch index ranges the support sphere can touch.
+		lox := clamp(int((f.Center.X-r-g.Origin.X)/g.H)/side, bx)
+		hix := clamp(int((f.Center.X+r-g.Origin.X)/g.H)/side, bx)
+		loy := clamp(int((f.Center.Y-r-g.Origin.Y)/g.H)/side, by)
+		hiy := clamp(int((f.Center.Y+r-g.Origin.Y)/g.H)/side, by)
+		loz := clamp(int((f.Center.Z-r-g.Origin.Z)/g.H)/side, bz)
+		hiz := clamp(int((f.Center.Z+r-g.Origin.Z)/g.H)/side, bz)
+		for cz := loz; cz <= hiz; cz++ {
+			for cy := loy; cy <= hiy; cy++ {
+				for cx := lox; cx <= hix; cx++ {
+					b := (cz*by+cy)*bx + cx
+					funcsOf[b] = append(funcsOf[b], fi)
+				}
+			}
+		}
+	}
+
+	var out []Batch
+	for cz := 0; cz < bz; cz++ {
+		for cy := 0; cy < by; cy++ {
+			for cx := 0; cx < bx; cx++ {
+				b := (cz*by+cy)*bx + cx
+				funcs := funcsOf[b]
+				if len(funcs) == 0 {
+					continue
+				}
+				var idx []int
+				for iz := cz * side; iz < min((cz+1)*side, g.Nz); iz++ {
+					for iy := cy * side; iy < min((cy+1)*side, g.Ny); iy++ {
+						for ix := cx * side; ix < min((cx+1)*side, g.Nx); ix++ {
+							idx = append(idx, g.Index(ix, iy, iz))
+						}
+					}
+				}
+				out = append(out, Batch{Indices: idx, Funcs: funcs})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"qframan/internal/basis"
+	"qframan/internal/constants"
+	"qframan/internal/geom"
+)
+
+func TestCoverContainsPoints(t *testing.T) {
+	pts := []geom.Vec3{{}, geom.V(3, 1, -2), geom.V(-1, 4, 0)}
+	g := Cover(pts, 2.0, 0.5)
+	last := g.PointAt(g.Nx-1, g.Ny-1, g.Nz-1)
+	for _, p := range pts {
+		if p.X < g.Origin.X || p.Y < g.Origin.Y || p.Z < g.Origin.Z {
+			t.Fatalf("point %v outside grid origin %v", p, g.Origin)
+		}
+		if p.X > last.X || p.Y > last.Y || p.Z > last.Z {
+			t.Fatalf("point %v outside grid end %v", p, last)
+		}
+	}
+	// Margin respected.
+	if g.Origin.X > -1-2+1e-9 {
+		t.Fatalf("margin not applied: origin %v", g.Origin)
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	g := Cover([]geom.Vec3{{}, geom.V(5, 4, 3)}, 1, 0.7)
+	for i := 0; i < g.NumPoints(); i++ {
+		ix, iy, iz := g.Coords(i)
+		if g.Index(ix, iy, iz) != i {
+			t.Fatalf("index round trip failed at %d", i)
+		}
+	}
+}
+
+func TestWeightIntegratesGaussian(t *testing.T) {
+	// ∫exp(−αr²) = (π/α)^{3/2}; a fine grid should integrate it well.
+	alpha := 0.8
+	g := Cover([]geom.Vec3{{}}, 7.0, 0.35)
+	var sum float64
+	for i := 0; i < g.NumPoints(); i++ {
+		p := g.Point(i)
+		sum += math.Exp(-alpha * p.Norm2())
+	}
+	sum *= g.Weight()
+	want := math.Pow(math.Pi/alpha, 1.5)
+	if math.Abs(sum-want)/want > 1e-3 {
+		t.Fatalf("grid integral %v, want %v", sum, want)
+	}
+}
+
+func TestBatches(t *testing.T) {
+	els := []constants.Element{constants.O, constants.H, constants.H}
+	pos := []geom.Vec3{{}, geom.V(1.8, 0, 0), geom.V(-0.45, 1.75, 0)}
+	set := basis.ForAtoms(els, pos)
+	g := Cover(pos, 6.0, 0.6)
+	batches := g.Batches(8, set)
+	if len(batches) == 0 {
+		t.Fatal("no batches")
+	}
+	// Every batch point index valid and unique across batches that include it.
+	seen := map[int]int{}
+	for _, b := range batches {
+		if len(b.Funcs) == 0 {
+			t.Fatal("batch with no functions was not skipped")
+		}
+		for _, idx := range b.Indices {
+			if idx < 0 || idx >= g.NumPoints() {
+				t.Fatalf("invalid grid index %d", idx)
+			}
+			seen[idx]++
+			if seen[idx] > 1 {
+				t.Fatalf("grid point %d appears in two batches", idx)
+			}
+		}
+	}
+	// Correctness of function assignment: for every batch point p and every
+	// function NOT assigned to the batch, |χ(p)| must be negligible.
+	assigned := make([]map[int]bool, len(batches))
+	for bi, b := range batches {
+		assigned[bi] = map[int]bool{}
+		for _, f := range b.Funcs {
+			assigned[bi][f] = true
+		}
+	}
+	for bi, b := range batches {
+		for _, idx := range b.Indices {
+			p := g.Point(idx)
+			for fi := range set.Funcs {
+				if assigned[bi][fi] {
+					continue
+				}
+				if v := math.Abs(set.Funcs[fi].ValueAt(p)); v > 1e-6 {
+					t.Fatalf("batch %d point %d: unassigned function %d has value %g", bi, idx, fi, v)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchesCoverAllFunctionSupport(t *testing.T) {
+	els := []constants.Element{constants.C}
+	pos := []geom.Vec3{geom.V(1, 2, 3)}
+	set := basis.ForAtoms(els, pos)
+	g := Cover(pos, 7.0, 0.5)
+	batches := g.Batches(6, set)
+	// Sum of |χ|² over batch-assigned points ≈ 1 (normalization) for each
+	// function: proves no support is lost by the batch assignment.
+	for fi := range set.Funcs {
+		var sum float64
+		for _, b := range batches {
+			in := false
+			for _, f := range b.Funcs {
+				if f == fi {
+					in = true
+					break
+				}
+			}
+			if !in {
+				continue
+			}
+			for _, idx := range b.Indices {
+				v := set.Funcs[fi].ValueAt(g.Point(idx))
+				sum += v * v
+			}
+		}
+		sum *= g.Weight()
+		if math.Abs(sum-1) > 5e-3 {
+			t.Fatalf("function %d: batched ∫|χ|² = %v, want ≈1", fi, sum)
+		}
+	}
+}

@@ -1,0 +1,393 @@
+// Package hessian computes per-fragment Hessians and polarizability
+// derivatives through the paper's displacement loop — each displacement is
+// one worker job: an SCF ground state, analytic forces, and a DFPT
+// polarizability at the displaced geometry — and assembles the signed
+// fragment contributions (Eq. 1) into the global sparse mass-weighted
+// Hessian and the global ∂α/∂ξ vectors that feed the Raman solver.
+package hessian
+
+import (
+	"fmt"
+	"math"
+
+	"qframan/internal/constants"
+	"qframan/internal/dfpt"
+	"qframan/internal/fragment"
+	"qframan/internal/geom"
+	"qframan/internal/linalg"
+	"qframan/internal/scf"
+)
+
+// DefaultStep is the finite-difference displacement in bohr.
+const DefaultStep = 5e-3
+
+// AlphaComponents enumerates the six independent polarizability components
+// in the order (xx, yy, zz, xy, xz, yz).
+var AlphaComponents = [6][2]int{{0, 0}, {1, 1}, {2, 2}, {0, 1}, {0, 2}, {1, 2}}
+
+// DisplacementResult is the output of one worker job: forces, dipole
+// moment, and polarizability at a single displaced geometry.
+type DisplacementResult struct {
+	Atom, Axis int
+	Sign       int // +1 or −1
+	Forces     []geom.Vec3
+	Dipole     geom.Vec3
+	Alpha      [3][3]float64
+}
+
+// JobOptions bundles the solver settings of a displacement job.
+type JobOptions struct {
+	Step float64
+	SCF  scf.Options
+	DFPT dfpt.Options
+	// SkipAlpha disables the DFPT part (pure Hessian runs).
+	SkipAlpha bool
+}
+
+// DefaultJobOptions returns production settings (γ-mode DFPT for speed and
+// variational consistency; the grid mode is exercised by the performance
+// benchmarks).
+func DefaultJobOptions() JobOptions {
+	return JobOptions{
+		Step: DefaultStep,
+		SCF:  scf.DefaultOptions(),
+		DFPT: dfpt.DefaultOptions(),
+	}
+}
+
+// RunDisplacement executes one worker job on the fragment model. Set
+// opt.SCF.InitDeltaQ to the reference geometry's converged charges to
+// warm-start the displaced SCF (the displacement is tiny, so the charges
+// barely move — this is the displacement loop's dominant speedup).
+func RunDisplacement(m *scf.Model, atom, axis, sign int, opt JobOptions) (*DisplacementResult, error) {
+	if sign != 1 && sign != -1 {
+		return nil, fmt.Errorf("hessian: sign must be ±1")
+	}
+	md := m.Displaced(atom, axis, float64(sign)*opt.Step)
+	ground, err := md.SolveSCF(opt.SCF)
+	if err != nil {
+		return nil, fmt.Errorf("hessian: displaced SCF (atom %d axis %d sign %+d): %w", atom, axis, sign, err)
+	}
+	out := &DisplacementResult{
+		Atom: atom, Axis: axis, Sign: sign,
+		Forces: md.Forces(ground),
+		Dipole: md.Dipole(ground),
+	}
+	if !opt.SkipAlpha {
+		resp, err := dfpt.Polarizability(md, ground, opt.DFPT)
+		if err != nil {
+			return nil, fmt.Errorf("hessian: displaced DFPT (atom %d axis %d sign %+d): %w", atom, axis, sign, err)
+		}
+		out.Alpha = resp.Alpha
+	}
+	return out, nil
+}
+
+// FragmentData is the per-fragment output of the displacement loop.
+type FragmentData struct {
+	// Hess is the 3N×3N Cartesian Hessian (hartree/bohr²), symmetrized.
+	Hess *linalg.Matrix
+	// DAlpha[c][3a+d] = ∂α_c/∂r_{a,d} (a.u.) for component c of
+	// AlphaComponents.
+	DAlpha [6][]float64
+	// DDipole[k][3a+d] = ∂μ_k/∂r_{a,d} (a.u.) — the IR analogue of DAlpha,
+	// essentially free from the same displacement results.
+	DDipole [3][]float64
+}
+
+// BuildFragmentData assembles finite differences from the 6N displacement
+// results of one fragment (each coordinate displaced by ±Step).
+func BuildFragmentData(natoms int, results []*DisplacementResult, step float64, withAlpha bool) (*FragmentData, error) {
+	n3 := 3 * natoms
+	if len(results) != 2*n3 {
+		return nil, fmt.Errorf("hessian: got %d displacement results, want %d", len(results), 2*n3)
+	}
+	// Index results by (coordinate, sign).
+	plus := make([]*DisplacementResult, n3)
+	minus := make([]*DisplacementResult, n3)
+	for _, r := range results {
+		c := 3*r.Atom + r.Axis
+		if c < 0 || c >= n3 {
+			return nil, fmt.Errorf("hessian: result for invalid coordinate %d", c)
+		}
+		if r.Sign > 0 {
+			plus[c] = r
+		} else {
+			minus[c] = r
+		}
+	}
+	for c := 0; c < n3; c++ {
+		if plus[c] == nil || minus[c] == nil {
+			return nil, fmt.Errorf("hessian: missing displacement results for coordinate %d", c)
+		}
+	}
+
+	fd := &FragmentData{Hess: linalg.NewMatrix(n3, n3)}
+	for c := 0; c < n3; c++ {
+		fp, fm := plus[c].Forces, minus[c].Forces
+		for b := 0; b < natoms; b++ {
+			df := fp[b].Sub(fm[b]).Scale(1 / (2 * step))
+			// H[row][c] = ∂²E/∂r_row∂r_c = −∂F_row/∂r_c.
+			fd.Hess.Set(3*b+0, c, -df.X)
+			fd.Hess.Set(3*b+1, c, -df.Y)
+			fd.Hess.Set(3*b+2, c, -df.Z)
+		}
+	}
+	fd.Hess.Symmetrize()
+
+	if withAlpha {
+		for comp, ij := range AlphaComponents {
+			fd.DAlpha[comp] = make([]float64, n3)
+			for c := 0; c < n3; c++ {
+				fd.DAlpha[comp][c] = (plus[c].Alpha[ij[0]][ij[1]] - minus[c].Alpha[ij[0]][ij[1]]) / (2 * step)
+			}
+		}
+	}
+	for k := 0; k < 3; k++ {
+		fd.DDipole[k] = make([]float64, n3)
+	}
+	for c := 0; c < n3; c++ {
+		d := plus[c].Dipole.Sub(minus[c].Dipole).Scale(1 / (2 * step))
+		fd.DDipole[0][c] = d.X
+		fd.DDipole[1][c] = d.Y
+		fd.DDipole[2][c] = d.Z
+	}
+	return fd, nil
+}
+
+// SmearingRungs is the electronic-temperature escalation ladder used when a
+// fragment fails to converge: near-metallic fragments whose ground state
+// converges can still have a divergent or glacial self-consistent response,
+// and more smearing regularizes both. All displacements of a fragment are
+// always computed at one rung, keeping every finite difference on a single
+// consistent free-energy surface.
+func SmearingRungs(base float64) []float64 {
+	if base <= 0 {
+		base = 0.002
+	}
+	return []float64{base, 2.5 * base, 5 * base, 10 * base, 25 * base}
+}
+
+// ComputeFragment runs the full displacement loop of one fragment serially,
+// escalating the smearing rung when any part of the fragment fails to
+// converge. The parallel runtime (internal/sched) distributes the same jobs
+// across workers instead.
+func ComputeFragment(f *fragment.Fragment, opt JobOptions) (*FragmentData, error) {
+	m, err := ModelForFragment(f)
+	if err != nil {
+		return nil, err
+	}
+	var firstErr error
+	rungs := SmearingRungs(opt.SCF.Smearing)
+	for ri, sigma := range rungs {
+		o := opt
+		o.SCF.Smearing = sigma
+		data, err := computeFragmentOnce(f, m, o, ri == len(rungs)-1)
+		if err == nil {
+			return data, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, fmt.Errorf("hessian: fragment %d failed at every smearing rung: %w", f.ID, firstErr)
+}
+
+func computeFragmentOnce(f *fragment.Fragment, m *scf.Model, opt JobOptions, lastRung bool) (*FragmentData, error) {
+	refOpt, marginal, err := SolveReference(m, opt)
+	if err != nil {
+		return nil, err
+	}
+	if marginal && !lastRung {
+		return nil, fmt.Errorf("hessian: marginal response at σ=%g; escalating", opt.SCF.Smearing)
+	}
+	opt = *refOpt
+	natoms := f.NumAtoms()
+	results := make([]*DisplacementResult, 0, 6*natoms)
+	for a := 0; a < natoms; a++ {
+		for d := 0; d < 3; d++ {
+			for _, sign := range [2]int{1, -1} {
+				r, err := RunDisplacement(m, a, d, sign, opt)
+				if err != nil {
+					return nil, err
+				}
+				results = append(results, r)
+			}
+		}
+	}
+	return BuildFragmentData(natoms, results, opt.Step, !opt.SkipAlpha)
+}
+
+// SolveReference runs the fragment's reference SCF (and DFPT unless
+// SkipAlpha) at the options' smearing and returns options carrying the
+// warm-start data (reference charges, response matrices, working response
+// mixing) for the displaced worker jobs. The marginal flag reports that the
+// response only converged with heavy damping or very many cycles — a strong
+// predictor that displaced geometries will diverge, so callers should prefer
+// the next smearing rung when one is available.
+func SolveReference(m *scf.Model, opt JobOptions) (*JobOptions, bool, error) {
+	o := opt
+	if o.SCF.Smearing <= 0 {
+		o.SCF.Smearing = 0.002
+	}
+	ref, err := m.SolveSCF(o.SCF)
+	if err != nil {
+		return nil, false, fmt.Errorf("hessian: reference SCF: %w", err)
+	}
+	o.SCF.InitDeltaQ = ref.DeltaQ
+	marginal := false
+	if !o.SkipAlpha {
+		refResp, err := dfpt.Polarizability(m, ref, o.DFPT)
+		if err != nil {
+			return nil, false, fmt.Errorf("hessian: reference DFPT: %w", err)
+		}
+		o.DFPT.InitP1 = refResp.P1
+		// Skip mixing rungs the reference already proved divergent.
+		o.DFPT.Mixing = refResp.MixingUsed
+		marginal = refResp.MixingUsed < 0.9*opt.DFPT.Mixing || refResp.Cycles > 2*opt.DFPT.MaxIter
+	}
+	return &o, marginal, nil
+}
+
+// ModelForFragment builds the SCF model of a fragment (positions are Å in
+// the fragment, as extracted from the structure) and calibrates the
+// reference potential so the fragment geometry is a stationary point — a
+// prerequisite for rotation-clean finite-difference Hessians.
+func ModelForFragment(f *fragment.Fragment) (*scf.Model, error) {
+	m, err := scf.NewModel(f.Els, f.Pos)
+	if err != nil {
+		return nil, fmt.Errorf("hessian: fragment %d (%s): %w", f.ID, f.Kind, err)
+	}
+	if err := m.CalibrateRestForces(scf.DefaultOptions()); err != nil {
+		return nil, fmt.Errorf("hessian: fragment %d (%s): %w", f.ID, f.Kind, err)
+	}
+	return m, nil
+}
+
+// Global collects the assembled whole-system quantities.
+type Global struct {
+	// H is the sparse mass-weighted Hessian (atomic units: eigenvalues are
+	// squared angular frequencies).
+	H *Sparse
+	// DAlpha[c] is the mass-weighted polarizability derivative vector
+	// ∂α_c/∂ξ for component c.
+	DAlpha [6][]float64
+	// DDipole[k] is the mass-weighted dipole derivative vector ∂μ_k/∂ξ
+	// (drives IR intensities).
+	DDipole [3][]float64
+	// Masses are the per-atom masses in electron masses.
+	Masses []float64
+}
+
+// Assemble combines per-fragment data with the Eq. 1 coefficients into the
+// global mass-weighted Hessian and ∂α/∂ξ vectors. massesAMU are per-atom
+// masses in amu (as returned by structure.System.Masses); frags[i] must
+// correspond to dec.Fragments[i]. Cap-hydrogen rows (GlobalIdx −1) are
+// dropped — their contributions cancel between the positively and negatively
+// signed terms of the combination.
+func Assemble(dec *fragment.Decomposition, massesAMU []float64, frags []*FragmentData, withAlpha bool) (*Global, error) {
+	if len(frags) != len(dec.Fragments) {
+		return nil, fmt.Errorf("hessian: %d fragment data for %d fragments", len(frags), len(dec.Fragments))
+	}
+	natoms := len(massesAMU)
+	n3 := 3 * natoms
+	massesAU := make([]float64, natoms)
+	for i, m := range massesAMU {
+		massesAU[i] = m * constants.AMUToElectronMass
+	}
+
+	b := NewBuilder(n3)
+	var dAlpha [6][]float64
+	if withAlpha {
+		for c := range dAlpha {
+			dAlpha[c] = make([]float64, n3)
+		}
+	}
+	var dDip [3][]float64
+	for k := range dDip {
+		dDip[k] = make([]float64, n3)
+	}
+	for fi := range dec.Fragments {
+		f := &dec.Fragments[fi]
+		data := frags[fi]
+		if data == nil {
+			return nil, fmt.Errorf("hessian: missing data for fragment %d", fi)
+		}
+		for la, ga := range f.GlobalIdx {
+			if ga < 0 {
+				continue
+			}
+			for lb, gb := range f.GlobalIdx {
+				if gb < 0 {
+					continue
+				}
+				for da := 0; da < 3; da++ {
+					for db := 0; db < 3; db++ {
+						v := f.Coeff * data.Hess.At(3*la+da, 3*lb+db)
+						if v != 0 {
+							b.Add(3*ga+da, 3*gb+db, v)
+						}
+					}
+				}
+			}
+			if withAlpha {
+				for c := 0; c < 6; c++ {
+					for da := 0; da < 3; da++ {
+						dAlpha[c][3*ga+da] += f.Coeff * data.DAlpha[c][3*la+da]
+					}
+				}
+			}
+			if data.DDipole[0] != nil {
+				for k := 0; k < 3; k++ {
+					for da := 0; da < 3; da++ {
+						dDip[k][3*ga+da] += f.Coeff * data.DDipole[k][3*la+da]
+					}
+				}
+			}
+		}
+	}
+
+	// Mass weighting: H_mw = M^{-1/2} H M^{-1/2}, d_mw = M^{-1/2} d.
+	sqrtM := make([]float64, n3)
+	for a := 0; a < natoms; a++ {
+		s := sqrtAU(massesAU[a])
+		sqrtM[3*a] = s
+		sqrtM[3*a+1] = s
+		sqrtM[3*a+2] = s
+	}
+	b.ScaleRowsCols(sqrtM)
+	g := &Global{H: b.Build(), Masses: massesAU}
+	if withAlpha {
+		for c := 0; c < 6; c++ {
+			for i := 0; i < n3; i++ {
+				dAlpha[c][i] /= sqrtM[i]
+			}
+		}
+		g.DAlpha = dAlpha
+	}
+	for k := 0; k < 3; k++ {
+		for i := 0; i < n3; i++ {
+			dDip[k][i] /= sqrtM[i]
+		}
+	}
+	g.DDipole = dDip
+	return g, nil
+}
+
+func sqrtAU(m float64) float64 {
+	if m <= 0 {
+		panic("hessian: non-positive mass")
+	}
+	return math.Sqrt(m)
+}
+
+// ModelForFragmentNoCal builds the fragment model without force-balance
+// calibration (diagnostics and benchmarks that only need the electronic
+// problem).
+func ModelForFragmentNoCal(f *fragment.Fragment) (*scf.Model, error) {
+	m, err := scf.NewModel(f.Els, f.Pos)
+	if err != nil {
+		return nil, fmt.Errorf("hessian: fragment %d (%s): %w", f.ID, f.Kind, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,262 @@
+package hessian
+
+import (
+	"math"
+	"testing"
+
+	"qframan/internal/constants"
+	"qframan/internal/fragment"
+	"qframan/internal/geom"
+	"qframan/internal/linalg"
+	"qframan/internal/structure"
+)
+
+// waterFragment builds a standalone water fragment at the experimental
+// geometry.
+func waterFragment() *fragment.Fragment {
+	theta := 104.52 * math.Pi / 180
+	return &fragment.Fragment{
+		Els: []constants.Element{constants.O, constants.H, constants.H},
+		Pos: []geom.Vec3{
+			{},
+			geom.V(0.9572, 0, 0),
+			geom.V(0.9572*math.Cos(theta), 0.9572*math.Sin(theta), 0),
+		},
+		GlobalIdx: []int{0, 1, 2},
+		NumReal:   3,
+		Coeff:     1,
+	}
+}
+
+func waterMassesAMU() []float64 {
+	return []float64{constants.O.MassAMU(), constants.H.MassAMU(), constants.H.MassAMU()}
+}
+
+// eigenFrequencies densifies the sparse mass-weighted Hessian and returns
+// wavenumbers in cm⁻¹, ascending.
+func eigenFrequencies(s *Sparse) []float64 {
+	n := s.Dim()
+	dense := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+			dense.Set(i, int(s.Col[k]), s.Val[k])
+		}
+	}
+	dense.Symmetrize()
+	vals, _ := linalg.EigSym(dense)
+	out := make([]float64, n)
+	for i, v := range vals {
+		out[i] = constants.WavenumberFromEigenvalue(v)
+	}
+	return out
+}
+
+func TestWaterFrequencies(t *testing.T) {
+	f := waterFragment()
+	data, err := ComputeFragment(f, DefaultJobOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := &fragment.Decomposition{Fragments: []fragment.Fragment{*f}}
+	g, err := Assemble(dec, waterMassesAMU(), []*FragmentData{data}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs := eigenFrequencies(g.H)
+	// Six rigid-body modes near zero (reference is calibrated stationary).
+	for i := 0; i < 6; i++ {
+		if math.Abs(freqs[i]) > 30 {
+			t.Fatalf("rigid mode %d at %.1f cm⁻¹", i, freqs[i])
+		}
+	}
+	// Three vibrations near the model's calibration targets: bend ~1650,
+	// stretches ~3600/3700 (experimental water: 1595/3657/3756).
+	checks := []struct{ got, want, tol float64 }{
+		{freqs[6], 1650, 120},
+		{freqs[7], 3600, 150},
+		{freqs[8], 3710, 150},
+	}
+	for i, c := range checks {
+		if math.Abs(c.got-c.want) > c.tol {
+			t.Errorf("water vibration %d at %.1f cm⁻¹, want %.0f±%.0f", i, c.got, c.want, c.tol)
+		}
+	}
+	// Polarizability derivatives present and nonzero: water is Raman active.
+	for c := 0; c < 3; c++ {
+		if linalg.Norm2(g.DAlpha[c]) == 0 {
+			t.Fatalf("diagonal polarizability derivative %d vanished", c)
+		}
+	}
+}
+
+func TestHessianTranslationSumRule(t *testing.T) {
+	// Acoustic sum rule: Σ_J H[3I+d][3J+d'] = 0 (unweighted Cartesian
+	// Hessian rows sum to zero by translation invariance).
+	f := waterFragment()
+	data, err := ComputeFragment(f, DefaultJobOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := f.NumAtoms()
+	for rd := 0; rd < 3*n; rd++ {
+		for d := 0; d < 3; d++ {
+			var sum float64
+			for b := 0; b < n; b++ {
+				sum += data.Hess.At(rd, 3*b+d)
+			}
+			if math.Abs(sum) > 1e-5 {
+				t.Fatalf("row %d axis %d: translation sum %g", rd, d, sum)
+			}
+		}
+	}
+}
+
+func TestQFExactForSingleDimer(t *testing.T) {
+	// For exactly two waters within λ, the Eq. 1 combination telescopes to
+	// the direct dimer calculation: w1 + w2 + (dimer − w1 − w2) = dimer.
+	sys := structure.BuildWaterDimerSystem(1)
+	dec, err := fragment.Decompose(sys, fragment.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Stats.NumWWPairs != 1 {
+		t.Fatalf("expected 1 ww pair, got %d", dec.Stats.NumWWPairs)
+	}
+	opt := DefaultJobOptions()
+	datas := make([]*FragmentData, len(dec.Fragments))
+	for i := range dec.Fragments {
+		datas[i], err = ComputeFragment(&dec.Fragments[i], opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := Assemble(dec, sys.Masses(), datas, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct: the whole 6-atom system as one fragment.
+	whole := &fragment.Fragment{
+		Els:     make([]constants.Element, sys.NumAtoms()),
+		Pos:     sys.Positions(),
+		NumReal: sys.NumAtoms(),
+		Coeff:   1,
+	}
+	for i, a := range sys.Atoms {
+		whole.Els[i] = a.El
+		whole.GlobalIdx = append(whole.GlobalIdx, i)
+	}
+	wholeData, err := ComputeFragment(whole, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decW := &fragment.Decomposition{Fragments: []fragment.Fragment{*whole}}
+	gW, err := Assemble(decW, sys.Masses(), []*FragmentData{wholeData}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := g.H.Dim()
+	var worst float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if d := math.Abs(g.H.At(i, j) - gW.H.At(i, j)); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 1e-8 {
+		t.Fatalf("QF dimer Hessian differs from direct by %g", worst)
+	}
+	for c := 0; c < 6; c++ {
+		for i := 0; i < n; i++ {
+			if d := math.Abs(g.DAlpha[c][i] - gW.DAlpha[c][i]); d > 1e-6 {
+				t.Fatalf("∂α component %d entry %d differs by %g", c, i, d)
+			}
+		}
+	}
+}
+
+func TestBuildFragmentDataValidation(t *testing.T) {
+	if _, err := BuildFragmentData(2, nil, DefaultStep, false); err == nil {
+		t.Fatal("accepted empty results")
+	}
+	// Missing minus displacement.
+	rs := make([]*DisplacementResult, 0, 12)
+	for a := 0; a < 2; a++ {
+		for d := 0; d < 3; d++ {
+			rs = append(rs,
+				&DisplacementResult{Atom: a, Axis: d, Sign: 1, Forces: make([]geom.Vec3, 2)},
+				&DisplacementResult{Atom: a, Axis: d, Sign: 1, Forces: make([]geom.Vec3, 2)})
+		}
+	}
+	if _, err := BuildFragmentData(2, rs, DefaultStep, false); err == nil {
+		t.Fatal("accepted duplicate plus displacements")
+	}
+}
+
+func TestRunDisplacementValidation(t *testing.T) {
+	f := waterFragment()
+	m, err := ModelForFragmentNoCal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunDisplacement(m, 0, 0, 2, DefaultJobOptions()); err == nil {
+		t.Fatal("accepted sign 2")
+	}
+}
+
+func TestSparseBuilderAndMulVec(t *testing.T) {
+	b := NewBuilder(4)
+	b.Add(0, 0, 1)
+	b.Add(0, 0, 2) // duplicate: must merge to 3
+	b.Add(0, 3, -1)
+	b.Add(3, 0, -1)
+	b.Add(2, 1, 5)
+	b.Add(1, 2, 5)
+	b.Add(1, 1, 0) // explicit zero must be dropped
+	s := b.Build()
+	if s.At(0, 0) != 3 {
+		t.Fatalf("merged entry = %v", s.At(0, 0))
+	}
+	if s.At(1, 1) != 0 {
+		t.Fatal("zero entry retained")
+	}
+	if s.NNZ() != 5 {
+		t.Fatalf("nnz = %d, want 5", s.NNZ())
+	}
+	if asym := s.MaxAbsAsymmetry(); asym != 0 {
+		t.Fatalf("asymmetry %v", asym)
+	}
+	x := []float64{1, 2, 3, 4}
+	y := make([]float64, 4)
+	s.MulVec(x, y)
+	want := []float64{3*1 - 1*4, 5 * 3, 5 * 2, -1 * 1}
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-14 {
+			t.Fatalf("MulVec[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestSparseScaleRowsCols(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(0, 1, 6)
+	b.Add(1, 0, 6)
+	b.ScaleRowsCols([]float64{2, 3})
+	s := b.Build()
+	if s.At(0, 1) != 1 {
+		t.Fatalf("scaled entry = %v, want 1", s.At(0, 1))
+	}
+}
+
+func TestAssembleValidation(t *testing.T) {
+	f := waterFragment()
+	dec := &fragment.Decomposition{Fragments: []fragment.Fragment{*f}}
+	if _, err := Assemble(dec, waterMassesAMU(), nil, false); err == nil {
+		t.Fatal("accepted missing fragment data")
+	}
+	if _, err := Assemble(dec, waterMassesAMU(), []*FragmentData{nil}, false); err == nil {
+		t.Fatal("accepted nil fragment data")
+	}
+}

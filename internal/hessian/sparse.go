@@ -1,0 +1,117 @@
+package hessian
+
+import "sort"
+
+// Sparse is a CSR (compressed sparse row) symmetric matrix — the global
+// mass-weighted Hessian. For a 100M-atom system the dense matrix would be
+// 300M×300M (the paper's motivating impossibility, §IV-B); fragment locality
+// makes the assembled matrix sparse with O(1) nonzeros per row, so the
+// Lanczos solver's matrix–vector products are linear in system size.
+type Sparse struct {
+	N      int
+	RowPtr []int32
+	Col    []int32
+	Val    []float64
+}
+
+// Dim returns the matrix dimension.
+func (s *Sparse) Dim() int { return s.N }
+
+// NNZ returns the number of stored nonzeros.
+func (s *Sparse) NNZ() int { return len(s.Val) }
+
+// MulVec computes y = S·x.
+func (s *Sparse) MulVec(x, y []float64) {
+	if len(x) != s.N || len(y) != s.N {
+		panic("hessian: MulVec dimension mismatch")
+	}
+	for i := 0; i < s.N; i++ {
+		var acc float64
+		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+			acc += s.Val[k] * x[s.Col[k]]
+		}
+		y[i] = acc
+	}
+}
+
+// At returns element (i,j); O(log nnz-per-row).
+func (s *Sparse) At(i, j int) float64 {
+	lo, hi := int(s.RowPtr[i]), int(s.RowPtr[i+1])
+	k := lo + sort.Search(hi-lo, func(k int) bool { return int(s.Col[lo+k]) >= j })
+	if k < hi && int(s.Col[k]) == j {
+		return s.Val[k]
+	}
+	return 0
+}
+
+// MaxAbsAsymmetry returns max |S_ij − S_ji| — a health check; the assembled
+// mass-weighted Hessian must be symmetric.
+func (s *Sparse) MaxAbsAsymmetry() float64 {
+	var worst float64
+	for i := 0; i < s.N; i++ {
+		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+			j := int(s.Col[k])
+			d := s.Val[k] - s.At(j, i)
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// Builder accumulates COO triplets and compresses them to CSR.
+type Builder struct {
+	n    int
+	rows [][]entry
+}
+
+type entry struct {
+	col int32
+	val float64
+}
+
+// NewBuilder creates a builder for an n×n matrix.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, rows: make([][]entry, n)}
+}
+
+// Add accumulates v into (i,j).
+func (b *Builder) Add(i, j int, v float64) {
+	b.rows[i] = append(b.rows[i], entry{col: int32(j), val: v})
+}
+
+// ScaleRowsCols applies S ← D⁻¹·S·D⁻¹ with D = diag(d): every accumulated
+// entry (i,j) is divided by d[i]·d[j]. Used for mass weighting.
+func (b *Builder) ScaleRowsCols(d []float64) {
+	for i := range b.rows {
+		for k := range b.rows[i] {
+			e := &b.rows[i][k]
+			e.val /= d[i] * d[e.col]
+		}
+	}
+}
+
+// Build merges duplicate entries and returns the CSR matrix.
+func (b *Builder) Build() *Sparse {
+	s := &Sparse{N: b.n, RowPtr: make([]int32, b.n+1)}
+	for i, row := range b.rows {
+		sort.Slice(row, func(a, c int) bool { return row[a].col < row[c].col })
+		for k := 0; k < len(row); {
+			j := row[k].col
+			var acc float64
+			for ; k < len(row) && row[k].col == j; k++ {
+				acc += row[k].val
+			}
+			if acc != 0 {
+				s.Col = append(s.Col, j)
+				s.Val = append(s.Val, acc)
+			}
+		}
+		s.RowPtr[i+1] = int32(len(s.Col))
+	}
+	return s
+}

@@ -1,0 +1,34 @@
+package lanczos
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 600
+	m := randomSymmetric(rng, n)
+	d := randomVector(rng, n)
+	opt := Options{K: 100, Reorthogonalize: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Run(DenseOperator{m}, d, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGAGQRule(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m := randomSymmetric(rng, 400)
+	d := randomVector(rng, 400)
+	t, _, err := Run(DenseOperator{m}, d, Options{K: 150, Reorthogonalize: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.GAGQRule()
+	}
+}

@@ -1,0 +1,66 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Benchmark shapes mirror the engine's hot spots: grid-batch GEMMs
+// (points×basis×basis) and SCF eigensolves.
+
+func benchmarkGemm(b *testing.B, m, k, n int) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, m, k)
+	bb := randomMatrix(rng, k, n)
+	c := NewMatrix(m, n)
+	b.SetBytes(int64(8 * (m*k + k*n + m*n)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemm(false, false, 1, a, bb, 0, c, nil)
+	}
+	b.ReportMetric(float64(GemmFLOPs(m, k, n)*int64(b.N))/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+func BenchmarkGemm_GridBatch(b *testing.B)  { benchmarkGemm(b, 216, 40, 40) }
+func BenchmarkGemm_Square128(b *testing.B)  { benchmarkGemm(b, 128, 128, 128) }
+func BenchmarkGemm_TallSkinny(b *testing.B) { benchmarkGemm(b, 1000, 32, 32) }
+
+func BenchmarkEigSym(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		b.Run(itoa(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			a := randomSymmetric(rng, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				EigSym(a)
+			}
+		})
+	}
+}
+
+func BenchmarkGeneralizedEigSym(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 64
+	h := randomSymmetric(rng, n)
+	s := Identity(n)
+	p := randomSymmetric(rng, n)
+	p.Scale(0.05)
+	s.AddMatrix(p, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := GeneralizedEigSym(h, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(v int) string {
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

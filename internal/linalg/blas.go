@@ -1,0 +1,182 @@
+package linalg
+
+import "sync/atomic"
+
+// Ops tracks BLAS-level operation counts and floating-point operation counts.
+// The DFPT engine uses these counters to demonstrate the symmetry-aware
+// strength reduction (paper §V-D, Fig. 6) — fewer GEMM/GEMV invocations for
+// identical results — and the elastic offloading batcher uses the per-call
+// FLOP estimate to group calls of similar computational strength (§V-C).
+//
+// Counters are updated atomically so concurrent workers can share them.
+type Ops struct {
+	GEMMCalls  atomic.Int64
+	GEMVCalls  atomic.Int64
+	FLOPs      atomic.Int64
+	BatchCalls atomic.Int64 // batched-GEMM workloads issued to an accelerator
+}
+
+// Reset zeroes all counters.
+func (o *Ops) Reset() {
+	o.GEMMCalls.Store(0)
+	o.GEMVCalls.Store(0)
+	o.FLOPs.Store(0)
+	o.BatchCalls.Store(0)
+}
+
+// Snapshot returns the current counter values.
+func (o *Ops) Snapshot() (gemm, gemv, flops, batches int64) {
+	return o.GEMMCalls.Load(), o.GEMVCalls.Load(), o.FLOPs.Load(), o.BatchCalls.Load()
+}
+
+// DefaultOps is the process-wide counter set used when no explicit Ops is
+// supplied.
+var DefaultOps Ops
+
+// GemmFLOPs returns the canonical FLOP count of a GEMM of shape (m×k)·(k×n).
+func GemmFLOPs(m, k, n int) int64 { return 2 * int64(m) * int64(k) * int64(n) }
+
+// Gemm computes C = alpha·op(A)·op(B) + beta·C where op is identity or
+// transpose according to transA/transB. Shapes are validated against C.
+// The kernel uses an ikj loop order over the untransposed layout for
+// cache-friendly access.
+func Gemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix, ops *Ops) {
+	am, ak := a.Rows, a.Cols
+	if transA {
+		am, ak = a.Cols, a.Rows
+	}
+	bk, bn := b.Rows, b.Cols
+	if transB {
+		bk, bn = b.Cols, b.Rows
+	}
+	if ak != bk || c.Rows != am || c.Cols != bn {
+		panic("linalg: Gemm shape mismatch")
+	}
+	if ops == nil {
+		ops = &DefaultOps
+	}
+	ops.GEMMCalls.Add(1)
+	ops.FLOPs.Add(GemmFLOPs(am, ak, bn))
+
+	if beta == 0 {
+		c.Zero()
+	} else if beta != 1 {
+		c.Scale(beta)
+	}
+
+	switch {
+	case !transA && !transB:
+		for i := 0; i < am; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for k := 0; k < ak; k++ {
+				v := alpha * arow[k]
+				if v == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					crow[j] += v * bv
+				}
+			}
+		}
+	case transA && !transB:
+		// C[i][j] += alpha * A[k][i] * B[k][j]
+		for k := 0; k < ak; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i := 0; i < am; i++ {
+				v := alpha * arow[i]
+				if v == 0 {
+					continue
+				}
+				crow := c.Row(i)
+				for j, bv := range brow {
+					crow[j] += v * bv
+				}
+			}
+		}
+	case !transA && transB:
+		// C[i][j] += alpha * A[i][k] * B[j][k]
+		for i := 0; i < am; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for j := 0; j < bn; j++ {
+				brow := b.Row(j)
+				var s float64
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				crow[j] += alpha * s
+			}
+		}
+	default: // transA && transB
+		// C[i][j] += alpha * A[k][i] * B[j][k]
+		for i := 0; i < am; i++ {
+			crow := c.Row(i)
+			for j := 0; j < bn; j++ {
+				brow := b.Row(j)
+				var s float64
+				for k := 0; k < ak; k++ {
+					s += a.Data[k*a.Cols+i] * brow[k]
+				}
+				crow[j] += alpha * s
+			}
+		}
+	}
+}
+
+// MatMul returns op(A)·op(B) as a new matrix (alpha=1, beta=0).
+func MatMul(transA, transB bool, a, b *Matrix, ops *Ops) *Matrix {
+	am := a.Rows
+	if transA {
+		am = a.Cols
+	}
+	bn := b.Cols
+	if transB {
+		bn = b.Rows
+	}
+	c := NewMatrix(am, bn)
+	Gemm(transA, transB, 1, a, b, 0, c, ops)
+	return c
+}
+
+// Gemv computes y = alpha·op(A)·x + beta·y.
+func Gemv(trans bool, alpha float64, a *Matrix, x []float64, beta float64, y []float64, ops *Ops) {
+	m, n := a.Rows, a.Cols
+	if trans {
+		m, n = n, m
+	}
+	if len(x) != n || len(y) != m {
+		panic("linalg: Gemv shape mismatch")
+	}
+	if ops == nil {
+		ops = &DefaultOps
+	}
+	ops.GEMVCalls.Add(1)
+	ops.FLOPs.Add(2 * int64(m) * int64(n))
+
+	if beta == 0 {
+		for i := range y {
+			y[i] = 0
+		}
+	} else if beta != 1 {
+		Scal(beta, y)
+	}
+	if !trans {
+		for i := 0; i < m; i++ {
+			y[i] += alpha * Dot(a.Row(i), x)
+		}
+	} else {
+		for k := 0; k < a.Rows; k++ {
+			v := alpha * x[k]
+			if v == 0 {
+				continue
+			}
+			row := a.Row(k)
+			for j, av := range row {
+				y[j] += v * av
+			}
+		}
+	}
+}

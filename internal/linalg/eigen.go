@@ -1,0 +1,409 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// EigSym computes all eigenvalues and eigenvectors of the symmetric matrix a.
+// It returns the eigenvalues in ascending order and a matrix whose column j
+// is the eigenvector for eigenvalue j. The input is not modified.
+//
+// The implementation is the classic Householder tridiagonalization (tred2)
+// followed by the implicit-shift QL iteration (tql2), the same reduction used
+// by dense LAPACK drivers.
+func EigSym(a *Matrix) ([]float64, *Matrix) {
+	if a.Rows != a.Cols {
+		panic("linalg: EigSym on non-square matrix")
+	}
+	n := a.Rows
+	z := a.Clone()
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2(z, d, e)
+	if err := tql2(d, e, z); err != nil {
+		panic(err)
+	}
+	return d, z
+}
+
+// EigSymTridiag computes eigenvalues and eigenvectors of the symmetric
+// tridiagonal matrix with diagonal d (length n) and off-diagonal e (length
+// n−1). It returns ascending eigenvalues and the eigenvector matrix.
+// The inputs are not modified.
+func EigSymTridiag(d, e []float64) ([]float64, *Matrix) {
+	n := len(d)
+	if len(e) != n-1 && !(n == 0 && len(e) == 0) {
+		panic("linalg: EigSymTridiag off-diagonal length must be n-1")
+	}
+	dd := make([]float64, n)
+	copy(dd, d)
+	// tql2 uses the tred2 convention: ee[i] is the subdiagonal element
+	// coupling rows i−1 and i, so ee[0] is unused.
+	ee := make([]float64, n)
+	copy(ee[1:], e)
+	z := Identity(n)
+	if err := tql2(dd, ee, z); err != nil {
+		panic(err)
+	}
+	return dd, z
+}
+
+// EigvalsSymTridiag computes only the eigenvalues of a symmetric tridiagonal
+// matrix, ascending. Inputs are not modified.
+func EigvalsSymTridiag(d, e []float64) []float64 {
+	n := len(d)
+	dd := make([]float64, n)
+	copy(dd, d)
+	// tqlEigvals expects the subdiagonal directly at ee[0..n-2].
+	ee := make([]float64, n)
+	copy(ee[:n-1], e)
+	if err := tqlEigvals(dd, ee); err != nil {
+		panic(err)
+	}
+	return dd
+}
+
+// tred2 reduces the symmetric matrix stored in z to tridiagonal form with
+// diagonal d and off-diagonal e (e[0] unused space at index n-1 after shift),
+// accumulating the orthogonal transformation in z.
+// This is an adaptation of the EISPACK/Numerical Recipes tred2 routine.
+func tred2(z *Matrix, d, e []float64) {
+	n := z.Rows
+	for i := n - 1; i > 0; i-- {
+		l := i - 1
+		var h, scale float64
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(z.At(i, k))
+			}
+			if scale == 0 {
+				e[i] = z.At(i, l)
+			} else {
+				for k := 0; k <= l; k++ {
+					v := z.At(i, k) / scale
+					z.Set(i, k, v)
+					h += v * v
+				}
+				f := z.At(i, l)
+				g := math.Sqrt(h)
+				if f > 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				z.Set(i, l, f-g)
+				f = 0
+				for j := 0; j <= l; j++ {
+					z.Set(j, i, z.At(i, j)/h)
+					g = 0
+					for k := 0; k <= j; k++ {
+						g += z.At(j, k) * z.At(i, k)
+					}
+					for k := j + 1; k <= l; k++ {
+						g += z.At(k, j) * z.At(i, k)
+					}
+					e[j] = g / h
+					f += e[j] * z.At(i, j)
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f = z.At(i, j)
+					g = e[j] - hh*f
+					e[j] = g
+					for k := 0; k <= j; k++ {
+						z.Add(j, k, -(f*e[k] + g*z.At(i, k)))
+					}
+				}
+			}
+		} else {
+			e[i] = z.At(i, l)
+		}
+		d[i] = h
+	}
+	d[0] = 0
+	e[0] = 0
+	for i := 0; i < n; i++ {
+		l := i - 1
+		if d[i] != 0 {
+			for j := 0; j <= l; j++ {
+				var g float64
+				for k := 0; k <= l; k++ {
+					g += z.At(i, k) * z.At(k, j)
+				}
+				for k := 0; k <= l; k++ {
+					z.Add(k, j, -g*z.At(k, i))
+				}
+			}
+		}
+		d[i] = z.At(i, i)
+		z.Set(i, i, 1)
+		for j := 0; j <= l; j++ {
+			z.Set(j, i, 0)
+			z.Set(i, j, 0)
+		}
+	}
+}
+
+// tql2 computes eigenvalues (into d, ascending) and eigenvectors (columns of
+// z, which must be initialized with the tred2 accumulation or the identity)
+// of a symmetric tridiagonal matrix via the implicit QL method.
+// On input e[1..n-1] holds the subdiagonal (tred2 convention); e is destroyed.
+//
+// Internally the eigenvectors are kept transposed (one per row) so the
+// Givens-rotation updates run over contiguous memory — this loop dominates
+// the SCF engine's profile.
+func tql2(d, e []float64, z *Matrix) error {
+	n := len(d)
+	if n == 0 {
+		return nil
+	}
+	zt := z.T()
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= math.SmallestNonzeroFloat64 ||
+					math.Abs(e[m])+dd == dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			iter++
+			if iter > 80 {
+				return fmt.Errorf("linalg: tql2 failed to converge at row %d", l)
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			sg := r
+			if g < 0 {
+				sg = -r
+			}
+			g = d[m] - d[l] + e[l]/(g+sg)
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				zi := zt.Row(i)
+				zi1 := zt.Row(i + 1)
+				for k := 0; k < n; k++ {
+					f = zi1[k]
+					zi1[k] = s*zi[k] + c*f
+					zi[k] = c*zi[k] - s*f
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	// Sort eigenvalues ascending, permuting eigenvector rows (transposed
+	// storage), then write the result back as columns of z.
+	for i := 0; i < n-1; i++ {
+		k := i
+		p := d[i]
+		for j := i + 1; j < n; j++ {
+			if d[j] < p {
+				k = j
+				p = d[j]
+			}
+		}
+		if k != i {
+			d[k] = d[i]
+			d[i] = p
+			ri, rk := zt.Row(i), zt.Row(k)
+			for j := 0; j < n; j++ {
+				ri[j], rk[j] = rk[j], ri[j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := zt.Row(i)
+		for j := 0; j < n; j++ {
+			z.Set(j, i, row[j])
+		}
+	}
+	return nil
+}
+
+// tqlEigvals is tql2 without eigenvector accumulation. On input e[0..n-2]
+// holds the subdiagonal directly (already shifted); e is destroyed.
+func tqlEigvals(d, e []float64) error {
+	n := len(d)
+	if n == 0 {
+		return nil
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m])+dd == dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			iter++
+			if iter > 80 {
+				return fmt.Errorf("linalg: tql eigenvalue iteration failed at row %d", l)
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			sg := r
+			if g < 0 {
+				sg = -r
+			}
+			g = d[m] - d[l] + e[l]/(g+sg)
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	// insertion sort ascending
+	for i := 1; i < n; i++ {
+		v := d[i]
+		j := i - 1
+		for j >= 0 && d[j] > v {
+			d[j+1] = d[j]
+			j--
+		}
+		d[j+1] = v
+	}
+	return nil
+}
+
+// JacobiEig computes eigenvalues and eigenvectors of a symmetric matrix by
+// the cyclic Jacobi method. It is slower than EigSym and exists as an
+// independent cross-check for the validation ladder. Eigenvalues are
+// returned ascending with matching eigenvector columns.
+func JacobiEig(a *Matrix, maxSweeps int) ([]float64, *Matrix) {
+	if a.Rows != a.Cols {
+		panic("linalg: JacobiEig on non-square matrix")
+	}
+	n := a.Rows
+	m := a.Clone()
+	v := Identity(n)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < 1e-30 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					akp, akq := m.At(k, p), m.At(k, q)
+					m.Set(k, p, c*akp-s*akq)
+					m.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := m.At(p, k), m.At(q, k)
+					m.Set(p, k, c*apk-s*aqk)
+					m.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = m.At(i, i)
+	}
+	// sort ascending with vectors
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ {
+		k := idx[i]
+		key := d[k]
+		j := i - 1
+		for j >= 0 && d[idx[j]] > key {
+			idx[j+1] = idx[j]
+			j--
+		}
+		idx[j+1] = k
+	}
+	ds := make([]float64, n)
+	vs := NewMatrix(n, n)
+	for c2, src := range idx {
+		ds[c2] = d[src]
+		for r := 0; r < n; r++ {
+			vs.Set(r, c2, v.At(r, src))
+		}
+	}
+	return ds, vs
+}

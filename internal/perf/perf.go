@@ -1,0 +1,244 @@
+// Package perf runs the paper's per-fragment performance experiments on the
+// real quantum engine: the step-by-step speedups of symmetry-aware strength
+// reduction and elastic workload offloading (Fig. 9) and the double-precision
+// rates of the n⁽¹⁾ and H⁽¹⁾ phases (Table I). Numerics always execute on
+// the host; accelerator time comes from the calibrated device cost models in
+// internal/accel. The measured unit is one DFPT cycle — the paper's own
+// metric ("DFPT time per cycle").
+package perf
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"qframan/internal/accel"
+	"qframan/internal/dfpt"
+	"qframan/internal/fragment"
+	"qframan/internal/scf"
+	"qframan/internal/structure"
+)
+
+// overheadFraction models the non-GEMM share of a DFPT cycle relative to
+// the naive GEMM time. The paper measures 85% of the Hamiltonian-phase time
+// in GEMM on a medium fragment, i.e. other work ≈ 15/85 of the GEMM time.
+const overheadFraction = 0.176
+
+// SampleFragments returns one real fragment per requested atom count
+// (nearest available), drawn from a QF decomposition of a synthetic folded
+// protein. Water-sized entries (≤6 atoms) come from a water box.
+func SampleFragments(sizes []int, seed int64) ([]*fragment.Fragment, error) {
+	seq := structure.RandomSequence(80, seed)
+	sys, err := structure.BuildProteinFolded(seq, 16)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := fragment.Decompose(sys, fragment.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*fragment.Fragment, 0, len(sizes))
+	for _, want := range sizes {
+		var best *fragment.Fragment
+		bestDiff := math.MaxInt32
+		for i := range dec.Fragments {
+			f := &dec.Fragments[i]
+			d := f.NumAtoms() - want
+			if d < 0 {
+				d = -d
+			}
+			// Fragments must be closed-shell for the engine; all are.
+			if d < bestDiff {
+				bestDiff = d
+				best = f
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("perf: no fragment near %d atoms", want)
+		}
+		out = append(out, best)
+	}
+	return out, nil
+}
+
+// gridOptions returns the per-cycle measurement configuration: a single
+// DFPT cycle on the real-space pipeline.
+func gridOptions(reduced bool, exec *accel.BatchingExecutor) dfpt.Options {
+	opt := dfpt.DefaultOptions()
+	opt.Coulomb = dfpt.GridCoulomb
+	opt.GridSpacing = 0.85
+	opt.GridMargin = 4.0
+	opt.BatchSide = 6
+	opt.StrengthReduction = reduced
+	// One cycle per field direction: a huge tolerance accepts the first
+	// iterate, making the run a pure per-cycle cost measurement.
+	opt.Tol = 1e12
+	opt.MaxIter = 2
+	if exec != nil {
+		opt.Executor = exec
+	}
+	return opt
+}
+
+// CycleCost is the modeled cost of one DFPT cycle under a device model.
+type CycleCost struct {
+	GEMMs     int64
+	GEMMTime  time.Duration // modeled host+device time of the GEMM work
+	TotalTime time.Duration // including the non-GEMM overhead share
+	Phase     map[string]accel.Stats
+	Metrics   dfpt.PhaseMetrics
+}
+
+// MeasureCycle runs one DFPT cycle (all three field directions) of the
+// fragment on the grid pipeline with the given kernel variant and offload
+// options, returning the modeled cost.
+func MeasureCycle(f *fragment.Fragment, dev accel.Device, reduced bool, offload accel.Options) (*CycleCost, error) {
+	m, err := scf.NewModel(f.Els, f.Pos)
+	if err != nil {
+		return nil, err
+	}
+	ground, err := m.SolveSCFRobust(scf.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	exec := accel.NewBatchingExecutor(dev, offload)
+	resp, err := dfpt.Polarizability(m, ground, gridOptions(reduced, exec))
+	if err != nil {
+		return nil, err
+	}
+	cost := &CycleCost{
+		GEMMs:    exec.Stats.GEMMs,
+		GEMMTime: exec.Stats.ModeledTime(),
+		Metrics:  resp.Metrics,
+		Phase:    map[string]accel.Stats{},
+	}
+	for name, s := range exec.PhaseStats {
+		cost.Phase[name] = *s
+	}
+	return cost, nil
+}
+
+// Fig9Row is one bar group of the paper's Fig. 9.
+type Fig9Row struct {
+	Atoms        int
+	GEMMsNaive   int64
+	GEMMsReduced int64
+	// SpeedupSR is the DFPT-cycle speedup from symmetry-aware strength
+	// reduction alone (paper: 3.0–4.4× on ORISE, up to 6.0× on Sunway).
+	SpeedupSR float64
+	// SpeedupSROffload adds elastic workload offloading (paper:
+	// 6.3–11.6× on ORISE, up to 16.2× on Sunway).
+	SpeedupSROffload float64
+}
+
+// Fig9 measures the step-by-step speedups across fragment sizes.
+func Fig9(dev accel.Device, sizes []int, seed int64) ([]Fig9Row, error) {
+	frags, err := SampleFragments(sizes, seed)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig9Row, 0, len(frags))
+	for _, f := range frags {
+		hostOnly := accel.Options{Stride: 32, MinBatch: 64, Offload: false}
+		naive, err := MeasureCycle(f, dev, false, hostOnly)
+		if err != nil {
+			return nil, err
+		}
+		sr, err := MeasureCycle(f, dev, true, hostOnly)
+		if err != nil {
+			return nil, err
+		}
+		srOff, err := MeasureCycle(f, dev, true, accel.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		other := time.Duration(overheadFraction * float64(naive.GEMMTime))
+		base := naive.GEMMTime + other
+		rows = append(rows, Fig9Row{
+			Atoms:            f.NumAtoms(),
+			GEMMsNaive:       naive.GEMMs,
+			GEMMsReduced:     sr.GEMMs,
+			SpeedupSR:        float64(base) / float64(sr.GEMMTime+other),
+			SpeedupSROffload: float64(base) / float64(srOff.GEMMTime+other),
+		})
+	}
+	return rows, nil
+}
+
+// Table1Row is one line of the paper's Table I.
+type Table1Row struct {
+	Platform string
+	Part     string // "n1" or "h1"
+	// MinTFLOPS/MaxTFLOPS are sustained per-accelerator FP64 rates across
+	// fragment sizes.
+	MinTFLOPS, MaxTFLOPS float64
+	// PFLOPS is the full-system estimate (rate averaged over the fragment
+	// population × accelerator count), and PctOfPeak its fraction of the
+	// machine's FP64 peak.
+	PFLOPS    float64
+	PctOfPeak float64
+}
+
+// Table1 measures per-accelerator sustained rates of the n⁽¹⁾ and H⁽¹⁾
+// phases across fragment sizes and extrapolates to the full system, exactly
+// as the paper does ("the performance … could thus be estimated").
+// unitsPerAccel aggregates executor units into the reported accelerator:
+// 1 for an ORISE GPU, 6 for a SW26010-pro node (six core groups).
+func Table1(platform string, dev accel.Device, nAccel, unitsPerAccel int, peakPFLOPS float64, sizes []int, seed int64) ([]Table1Row, error) {
+	frags, err := SampleFragments(sizes, seed)
+	if err != nil {
+		return nil, err
+	}
+	type rate struct{ min, max, sum float64 }
+	rates := map[string]*rate{"n1": {min: math.Inf(1)}, "h1": {min: math.Inf(1)}}
+	for _, f := range frags {
+		cost, err := MeasureCycle(f, dev, true, accel.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		for part, r := range rates {
+			ps, ok := cost.Phase[part]
+			if !ok {
+				return nil, fmt.Errorf("perf: phase %q not recorded", part)
+			}
+			t := ps.ModeledTime().Seconds()
+			if t <= 0 {
+				continue
+			}
+			var flops int64
+			if part == "n1" {
+				flops = cost.Metrics.FLOPsN1
+			} else {
+				flops = cost.Metrics.FLOPsH1
+			}
+			tf := float64(flops) / t / 1e12 * float64(unitsPerAccel)
+			r.min = math.Min(r.min, tf)
+			r.max = math.Max(r.max, tf)
+			r.sum += tf
+		}
+	}
+	var rows []Table1Row
+	for _, part := range []string{"n1", "h1"} {
+		r := rates[part]
+		mean := r.sum / float64(len(frags))
+		pf := mean * float64(nAccel) / 1e3 // TFLOPS → PFLOPS
+		rows = append(rows, Table1Row{
+			Platform:  platform,
+			Part:      part,
+			MinTFLOPS: r.min,
+			MaxTFLOPS: r.max,
+			PFLOPS:    pf,
+			PctOfPeak: pf / peakPFLOPS,
+		})
+	}
+	return rows, nil
+}
+
+// Machines' full-system parameters for the Table I extrapolation.
+const (
+	ORISEAccelerators = 24000
+	ORISEPeakPFLOPS   = 158.5 // implied by 85.27 PFLOPS at 53.8%
+	SunwayNodes       = 96000
+	SunwayCoreGroups  = 96000 * 6
+	SunwayPeakPFLOPS  = 1355.6 // implied by 399.90 PFLOPS at 29.5%
+)

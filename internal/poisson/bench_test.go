@@ -1,0 +1,20 @@
+package poisson
+
+import (
+	"testing"
+
+	"qframan/internal/geom"
+	"qframan/internal/grid"
+)
+
+func BenchmarkSolve(b *testing.B) {
+	g := grid.Cover([]geom.Vec3{{}}, 8.0, 0.6)
+	rho := gaussianCharge(g, geom.Vec3{}, 1.0, 1.0)
+	b.ReportMetric(float64(g.NumPoints()), "gridpoints")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Solve(g, rho, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package poisson solves the electrostatic Poisson equation ∇²v = −4πρ on a
+// uniform grid — the third phase of the paper's per-displacement DFPT cycle
+// (the response electrostatic potential v⁽¹⁾_es from the response density
+// n⁽¹⁾). The solver is a matrix-free conjugate-gradient iteration over the
+// 7-point Laplacian with Dirichlet boundary values supplied by a
+// monopole+dipole multipole expansion of the charge on the grid.
+package poisson
+
+import (
+	"fmt"
+	"math"
+
+	"qframan/internal/geom"
+	"qframan/internal/grid"
+)
+
+// Options controls the CG iteration.
+type Options struct {
+	// Tol is the relative residual tolerance (‖r‖/‖b‖).
+	Tol float64
+	// MaxIter bounds the CG iterations.
+	MaxIter int
+}
+
+// DefaultOptions returns tolerances adequate for the response potential.
+func DefaultOptions() Options { return Options{Tol: 1e-8, MaxIter: 10000} }
+
+// Solve computes the potential v (len = g.NumPoints()) for charge density
+// rho (same layout) with multipole Dirichlet boundary conditions. It returns
+// the number of CG iterations used.
+func Solve(g *grid.Grid, rho []float64, opt Options) ([]float64, int, error) {
+	n := g.NumPoints()
+	if len(rho) != n {
+		return nil, 0, fmt.Errorf("poisson: rho has %d entries, grid has %d points", len(rho), n)
+	}
+	if g.Nx < 3 || g.Ny < 3 || g.Nz < 3 {
+		return nil, 0, fmt.Errorf("poisson: grid must be at least 3 points per axis")
+	}
+
+	v := make([]float64, n)
+	setBoundary(g, rho, v)
+
+	// Interior unknowns: solve A u = b with A = −∇² (SPD on the interior),
+	// b = 4πρ + boundary terms folded in by keeping v's boundary fixed and
+	// applying the stencil to the full array.
+	h2 := g.H * g.H
+	interior := make([]int, 0, n)
+	for iz := 1; iz < g.Nz-1; iz++ {
+		for iy := 1; iy < g.Ny-1; iy++ {
+			for ix := 1; ix < g.Nx-1; ix++ {
+				interior = append(interior, g.Index(ix, iy, iz))
+			}
+		}
+	}
+
+	// applyA computes (−∇² u) at interior points, treating u as zero on the
+	// boundary (boundary contribution is moved to b).
+	applyA := func(u, out []float64) {
+		sx, sy, sz := 1, g.Nx, g.Nx*g.Ny
+		for k, idx := range interior {
+			out[k] = (6*u[idx] - u[idx-sx] - u[idx+sx] - u[idx-sy] - u[idx+sy] - u[idx-sz] - u[idx+sz]) / h2
+		}
+	}
+
+	// Build b = 4πρ + (1/h²)·(boundary neighbor values).
+	nb := len(interior)
+	b := make([]float64, nb)
+	{
+		sx, sy, sz := 1, g.Nx, g.Nx*g.Ny
+		isBoundary := func(idx int) bool {
+			ix, iy, iz := g.Coords(idx)
+			return ix == 0 || ix == g.Nx-1 || iy == 0 || iy == g.Ny-1 || iz == 0 || iz == g.Nz-1
+		}
+		for k, idx := range interior {
+			b[k] = 4 * math.Pi * rho[idx]
+			for _, nIdx := range [6]int{idx - sx, idx + sx, idx - sy, idx + sy, idx - sz, idx + sz} {
+				if isBoundary(nIdx) {
+					b[k] += v[nIdx] / h2
+				}
+			}
+		}
+	}
+
+	// Conjugate gradients on the interior; u stores values at interior
+	// points embedded in a full-size scratch array (boundary zero) so the
+	// stencil application stays simple.
+	full := make([]float64, n)
+	au := make([]float64, nb)
+	u := make([]float64, nb)
+	r := make([]float64, nb)
+	p := make([]float64, nb)
+	copy(r, b)
+	copy(p, b)
+	bNorm := norm(b)
+	if bNorm == 0 {
+		return v, 0, nil
+	}
+	rr := dot(r, r)
+	iter := 0
+	for ; iter < opt.MaxIter; iter++ {
+		if math.Sqrt(rr)/bNorm < opt.Tol {
+			break
+		}
+		// au = A p (via the full-array stencil with zero boundary).
+		for i := range full {
+			full[i] = 0
+		}
+		for k, idx := range interior {
+			full[idx] = p[k]
+		}
+		applyA(full, au)
+		pap := dot(p, au)
+		if pap <= 0 {
+			return nil, iter, fmt.Errorf("poisson: CG breakdown (pᵀAp = %g)", pap)
+		}
+		alpha := rr / pap
+		for k := range u {
+			u[k] += alpha * p[k]
+			r[k] -= alpha * au[k]
+		}
+		rrNew := dot(r, r)
+		beta := rrNew / rr
+		rr = rrNew
+		for k := range p {
+			p[k] = r[k] + beta*p[k]
+		}
+	}
+	if math.Sqrt(rr)/bNorm >= opt.Tol {
+		return nil, iter, fmt.Errorf("poisson: CG did not converge in %d iterations (rel res %g)", iter, math.Sqrt(rr)/bNorm)
+	}
+	for k, idx := range interior {
+		v[idx] = u[k]
+	}
+	return v, iter, nil
+}
+
+// setBoundary fills the boundary faces of v with the monopole+dipole
+// expansion of rho about the charge centroid.
+func setBoundary(g *grid.Grid, rho, v []float64) {
+	w := g.Weight()
+	var q float64
+	var center geom.Vec3
+	// Expansion origin: grid center (robust also for zero net charge).
+	center = g.Origin.Add(geom.V(
+		float64(g.Nx-1)*g.H/2, float64(g.Ny-1)*g.H/2, float64(g.Nz-1)*g.H/2))
+	var p geom.Vec3
+	for i, r := range rho {
+		if r == 0 {
+			continue
+		}
+		q += r * w
+		d := g.Point(i).Sub(center)
+		p = p.Add(d.Scale(r * w))
+	}
+	face := func(ix, iy, iz int) {
+		pt := g.PointAt(ix, iy, iz)
+		d := pt.Sub(center)
+		rr := d.Norm()
+		if rr == 0 {
+			return
+		}
+		v[g.Index(ix, iy, iz)] = q/rr + p.Dot(d)/(rr*rr*rr)
+	}
+	for iy := 0; iy < g.Ny; iy++ {
+		for ix := 0; ix < g.Nx; ix++ {
+			face(ix, iy, 0)
+			face(ix, iy, g.Nz-1)
+		}
+	}
+	for iz := 0; iz < g.Nz; iz++ {
+		for ix := 0; ix < g.Nx; ix++ {
+			face(ix, 0, iz)
+			face(ix, g.Ny-1, iz)
+		}
+	}
+	for iz := 0; iz < g.Nz; iz++ {
+		for iy := 0; iy < g.Ny; iy++ {
+			face(0, iy, iz)
+			face(g.Nx-1, iy, iz)
+		}
+	}
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+func norm(a []float64) float64 { return math.Sqrt(dot(a, a)) }

@@ -1,0 +1,224 @@
+package raman
+
+import (
+	"math"
+	"testing"
+
+	"qframan/internal/fragment"
+	"qframan/internal/hessian"
+	"qframan/internal/structure"
+)
+
+// dimerGlobal runs the full QF pipeline on a single water dimer and returns
+// the assembled global quantities.
+func dimerGlobal(t *testing.T) *hessian.Global {
+	t.Helper()
+	sys := structure.BuildWaterDimerSystem(1)
+	dec, err := fragment.Decompose(sys, fragment.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := hessian.DefaultJobOptions()
+	datas := make([]*hessian.FragmentData, len(dec.Fragments))
+	for i := range dec.Fragments {
+		datas[i], err = hessian.ComputeFragment(&dec.Fragments[i], opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := hessian.Assemble(dec, sys.Masses(), datas, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDenseModesWaterDimer(t *testing.T) {
+	g := dimerGlobal(t)
+	modes, err := DenseModes(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(modes.Wavenumbers) != 18 {
+		t.Fatalf("modes = %d, want 18", len(modes.Wavenumbers))
+	}
+	// O–H stretch band present near 3600–3800.
+	found := false
+	for _, w := range modes.Wavenumbers {
+		if w > 3400 && w < 3900 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no O–H stretch modes found")
+	}
+	// Activities non-negative.
+	for p, a := range modes.Activity {
+		if a < 0 {
+			t.Fatalf("negative activity %g at mode %d", a, p)
+		}
+	}
+}
+
+func TestLanczosSpectrumMatchesDense(t *testing.T) {
+	g := dimerGlobal(t)
+	opt := DefaultOptions()
+	opt.FreqMin, opt.FreqMax, opt.FreqStep = 200, 4000, 5
+	opt.Sigma = 20
+	opt.LanczosK = 18 * 2 // ≥ dim: exact subspace
+
+	dense, err := DenseSpectrum(g, opt, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lan, err := LanczosSpectrum(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dense.Freq) != len(lan.Freq) {
+		t.Fatal("axis mismatch")
+	}
+	if sim := CosineSimilarity(dense, lan); sim < 0.995 {
+		t.Fatalf("dense vs Lanczos cosine similarity %v", sim)
+	}
+}
+
+func TestLanczosSpectrumSmallK(t *testing.T) {
+	// Even with k far below the dimension the GAGQ spectrum should track
+	// the dense result closely.
+	g := dimerGlobal(t)
+	opt := DefaultOptions()
+	opt.FreqMin, opt.FreqMax, opt.FreqStep = 200, 4000, 5
+	opt.Sigma = 40
+	opt.LanczosK = 8
+
+	dense, err := DenseSpectrum(g, opt, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lan, err := LanczosSpectrum(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim := CosineSimilarity(dense, lan); sim < 0.9 {
+		t.Fatalf("small-k cosine similarity %v", sim)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	s := &Spectrum{Freq: []float64{1, 2, 3}, Intensity: []float64{2, 8, 4}}
+	s.Normalize()
+	if s.Intensity[1] != 1 || s.Intensity[0] != 0.25 {
+		t.Fatalf("normalized intensities %v", s.Intensity)
+	}
+	z := &Spectrum{Freq: []float64{1}, Intensity: []float64{0}}
+	z.Normalize() // must not panic or divide by zero
+	if z.Intensity[0] != 0 {
+		t.Fatal("zero spectrum changed")
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	a := &Spectrum{Intensity: []float64{1, 0, 0}}
+	b := &Spectrum{Intensity: []float64{1, 0, 0}}
+	c := &Spectrum{Intensity: []float64{0, 1, 0}}
+	if CosineSimilarity(a, b) != 1 {
+		t.Fatal("identical spectra similarity != 1")
+	}
+	if CosineSimilarity(a, c) != 0 {
+		t.Fatal("orthogonal spectra similarity != 0")
+	}
+	z := &Spectrum{Intensity: []float64{0, 0, 0}}
+	if CosineSimilarity(a, z) != 0 {
+		t.Fatal("zero spectrum similarity != 0")
+	}
+}
+
+func TestLanczosSpectrumRequiresAlpha(t *testing.T) {
+	g := &hessian.Global{H: hessian.NewBuilder(3).Build(), Masses: []float64{1}}
+	if _, err := LanczosSpectrum(g, DefaultOptions()); err == nil {
+		t.Fatal("accepted missing polarizability derivatives")
+	}
+}
+
+func TestSpectrumAxis(t *testing.T) {
+	opt := Options{FreqMin: 100, FreqMax: 200, FreqStep: 50, Sigma: 5, LanczosK: 4}
+	xs := opt.axis()
+	want := []float64{100, 150, 200}
+	if len(xs) != len(want) {
+		t.Fatalf("axis %v", xs)
+	}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-12 {
+			t.Fatalf("axis %v", xs)
+		}
+	}
+}
+
+func TestIRSpectrumWaterDimer(t *testing.T) {
+	g := dimerGlobal(t)
+	opt := DefaultOptions()
+	opt.FreqMin, opt.FreqMax, opt.FreqStep = 200, 4000, 5
+	opt.Sigma = 20
+	opt.LanczosK = 36
+
+	dense, err := DenseIRSpectrum(g, opt, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lan, err := LanczosIRSpectrum(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim := CosineSimilarity(dense, lan); sim < 0.99 {
+		t.Fatalf("dense vs Lanczos IR cosine similarity %v", sim)
+	}
+	// Water's bend (~1650) is strongly IR active: require real intensity
+	// there relative to the maximum.
+	dense.Normalize()
+	var bend float64
+	for i, f := range dense.Freq {
+		if f > 1500 && f < 1800 && dense.Intensity[i] > bend {
+			bend = dense.Intensity[i]
+		}
+	}
+	if bend < 0.05 {
+		t.Fatalf("bend region IR intensity %v — water bend should be IR active", bend)
+	}
+}
+
+func TestIRRequiresDipoleDerivatives(t *testing.T) {
+	g := &hessian.Global{H: hessian.NewBuilder(3).Build(), Masses: []float64{1}}
+	if _, err := DenseIRSpectrum(g, DefaultOptions(), 0); err == nil {
+		t.Fatal("accepted missing dipole derivatives")
+	}
+	if _, err := LanczosIRSpectrum(g, DefaultOptions()); err == nil {
+		t.Fatal("accepted missing dipole derivatives")
+	}
+}
+
+func TestSpectraNonNegative(t *testing.T) {
+	g := dimerGlobal(t)
+	opt := DefaultOptions()
+	opt.FreqMin, opt.FreqMax, opt.FreqStep = 0, 4000, 7
+	opt.Sigma = 15
+	opt.LanczosK = 30
+	for name, spec := range map[string]func() (*Spectrum, error){
+		"raman-lanczos": func() (*Spectrum, error) { return LanczosSpectrum(g, opt) },
+		"raman-dense":   func() (*Spectrum, error) { return DenseSpectrum(g, opt, 0) },
+		"ir-lanczos":    func() (*Spectrum, error) { return LanczosIRSpectrum(g, opt) },
+		"ir-dense":      func() (*Spectrum, error) { return DenseIRSpectrum(g, opt, 0) },
+	} {
+		s, err := spec()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, v := range s.Intensity {
+			// GAGQ weights are squares; intensities must never go negative
+			// beyond tiny numerical noise.
+			if v < -1e-9 {
+				t.Fatalf("%s: negative intensity %g at %v cm⁻¹", name, v, s.Freq[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package scf
+
+import "testing"
+
+func BenchmarkSolveSCFWater(b *testing.B) {
+	els, pos := waterGeometry()
+	m, err := NewModel(els, pos)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SolveSCF(DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveSCFMethaneWarm(b *testing.B) {
+	els, pos := methane()
+	m, err := NewModel(els, pos)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := m.SolveSCF(DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.InitDeltaQ = ref.DeltaQ
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SolveSCF(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForces(b *testing.B) {
+	els, pos := waterGeometry()
+	m, _ := NewModel(els, pos)
+	res, err := m.SolveSCF(DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forces(res)
+	}
+}

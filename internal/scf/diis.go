@@ -1,0 +1,96 @@
+package scf
+
+import (
+	"math"
+
+	"qframan/internal/linalg"
+)
+
+// diis is Pulay mixing (direct inversion in the iterative subspace) on the
+// Mulliken charge vector: the next input charges are the residual-minimizing
+// linear combination of the recent history, plus a damped residual step.
+// This kills the charge-sloshing slow modes that make plain linear mixing
+// take thousands of iterations on extended peptide fragments.
+type diis struct {
+	beta float64 // damping of the extrapolated residual
+	max  int     // history length
+	ins  [][]float64
+	res  [][]float64
+}
+
+func newDIIS(beta float64, max int) *diis {
+	return &diis{beta: beta, max: max}
+}
+
+// next consumes the (input, output) pair of one SCF iteration and returns
+// the next input charge vector.
+func (d *diis) next(in, out []float64) []float64 {
+	n := len(in)
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = out[i] - in[i]
+	}
+	d.ins = append(d.ins, append([]float64(nil), in...))
+	d.res = append(d.res, r)
+	if len(d.ins) > d.max {
+		d.ins = d.ins[1:]
+		d.res = d.res[1:]
+	}
+	k := len(d.ins)
+	if k >= 2 {
+		if next := d.extrapolate(k, n); next != nil {
+			return next
+		}
+	}
+	// Fallback / warm-up: damped linear step.
+	next := make([]float64, n)
+	for i := range next {
+		next[i] = in[i] + d.beta*r[i]
+	}
+	return next
+}
+
+// extrapolate solves the constrained least squares min ‖Σ cᵢ rᵢ‖², Σcᵢ = 1
+// via the bordered normal equations and returns Σ cᵢ (inᵢ + β rᵢ), or nil
+// if the system is ill-conditioned.
+func (d *diis) extrapolate(k, n int) []float64 {
+	b := linalg.NewMatrix(k+1, k+1)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			b.Set(i, j, linalg.Dot(d.res[i], d.res[j]))
+		}
+		b.Set(i, k, 1)
+		b.Set(k, i, 1)
+	}
+	rhs := make([]float64, k+1)
+	rhs[k] = 1
+	c, err := linalg.SolveLinear(b, rhs)
+	if err != nil {
+		d.reset()
+		return nil
+	}
+	var norm float64
+	for i := 0; i < k; i++ {
+		norm += math.Abs(c[i])
+	}
+	if norm > 1e4 || math.IsNaN(norm) {
+		d.reset()
+		return nil
+	}
+	next := make([]float64, n)
+	for i := 0; i < k; i++ {
+		ci := c[i]
+		if ci == 0 {
+			continue
+		}
+		for a := 0; a < n; a++ {
+			next[a] += ci * (d.ins[i][a] + d.beta*d.res[i][a])
+		}
+	}
+	return next
+}
+
+func (d *diis) reset() {
+	d.ins = nil
+	d.res = nil
+}

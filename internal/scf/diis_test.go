@@ -1,0 +1,88 @@
+package scf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// linearFixedPoint iterates x ← A·x + b (spectral radius < 1) through a
+// mixer and returns the iterations to reach tol.
+func linearFixedPoint(mixer func(in, out []float64) []float64, n int, tol float64, maxIter int) int {
+	rng := rand.New(rand.NewSource(5))
+	// A = ρ·Q diag Q⁻¹ with eigenvalues up to 0.97: slow linear contraction.
+	diag := make([]float64, n)
+	for i := range diag {
+		diag[i] = 0.97 * (1 - float64(i)/float64(2*n))
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	apply := func(x []float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = diag[i]*x[i] + b[i]
+		}
+		return out
+	}
+	x := make([]float64, n)
+	for k := 1; k <= maxIter; k++ {
+		out := apply(x)
+		var delta float64
+		for i := range x {
+			delta = math.Max(delta, math.Abs(out[i]-x[i]))
+		}
+		if delta < tol {
+			return k
+		}
+		x = mixer(x, out)
+	}
+	return maxIter
+}
+
+func TestDIISBeatsLinearMixing(t *testing.T) {
+	const n = 12
+	linear := linearFixedPoint(func(in, out []float64) []float64 {
+		next := make([]float64, n)
+		for i := range next {
+			next[i] = 0.7*in[i] + 0.3*out[i]
+		}
+		return next
+	}, n, 1e-10, 5000)
+	d := newDIIS(0.3, 6)
+	diisIters := linearFixedPoint(d.next, n, 1e-10, 5000)
+	if diisIters*5 > linear {
+		t.Fatalf("DIIS took %d iterations vs linear %d — expected ≥5× speedup", diisIters, linear)
+	}
+}
+
+func TestDIISRecoversFromReset(t *testing.T) {
+	d := newDIIS(0.4, 4)
+	// Feed identical residuals: the DIIS matrix is singular; the mixer must
+	// fall back to a damped step rather than fail.
+	in := []float64{1, 2}
+	out := []float64{1.5, 2.5}
+	for k := 0; k < 6; k++ {
+		next := d.next(in, out)
+		if math.IsNaN(next[0]) || math.IsNaN(next[1]) {
+			t.Fatal("DIIS produced NaN on a degenerate history")
+		}
+	}
+}
+
+func TestSolveSCFRobustEscalates(t *testing.T) {
+	// With an absurdly low iteration cap the plain solve fails but the
+	// interface still returns a clear error (escalation can't fix MaxIter).
+	els, pos := waterGeometry()
+	m, _ := NewModel(els, pos)
+	opt := DefaultOptions()
+	opt.MaxIter = 1
+	if _, err := m.SolveSCFRobust(opt); err == nil {
+		t.Fatal("expected failure at MaxIter=1")
+	}
+	// And the normal path succeeds.
+	if _, err := m.SolveSCFRobust(DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+}

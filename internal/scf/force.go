@@ -1,0 +1,92 @@
+package scf
+
+import (
+	"math"
+
+	"qframan/internal/basis"
+	"qframan/internal/geom"
+)
+
+// Forces returns the analytic nuclear forces −dE/dR (hartree/bohr) for a
+// converged field-free ground state. The gradient has the standard
+// SCC-tight-binding structure: Hellmann–Feynman + Pulay terms through the
+// overlap derivatives, the charge-fluctuation γ term, and the bonded
+// reference potential.
+func (m *Model) Forces(res *Result) []geom.Vec3 {
+	na := m.NumAtoms()
+	grad := make([]geom.Vec3, na)
+
+	v := m.sccPotential(res.DeltaQ)
+	n := m.Basis.Size()
+	for i := 0; i < n; i++ {
+		fi := &m.Basis.Funcs[i]
+		for j := i + 1; j < n; j++ {
+			fj := &m.Basis.Funcs[j]
+			a, b := fi.Atom, fj.Atom
+			if a == b {
+				continue
+			}
+			ds := basis.OverlapDeriv(fi, fj) // d S_ij / d R_a
+			// Both (i,j) and (j,i) contribute identically: factor 2.
+			coeff := 2 * (res.P.At(i, j)*0.5*wolfsbergK*(fi.OnsiteE+fj.OnsiteE) -
+				res.W.At(i, j) +
+				res.P.At(i, j)*0.5*(v[a]+v[b]))
+			grad[a] = grad[a].Add(ds.Scale(coeff))
+			grad[b] = grad[b].Sub(ds.Scale(coeff))
+		}
+	}
+
+	// Charge-fluctuation term: ½ Σ_ab Δq_a Δq_b dγ_ab/dR.
+	for a := 0; a < na; a++ {
+		ua := m.Els[a].HubbardU()
+		for b := a + 1; b < na; b++ {
+			d := m.Pos[a].Sub(m.Pos[b])
+			r := d.Norm()
+			c := 0.5 * (1/ua + 1/m.Els[b].HubbardU())
+			dg := -1 / math.Pow(r*r+c*c, 1.5) // dγ/dR ÷ R direction handled below
+			g := d.Scale(dg * res.DeltaQ[a] * res.DeltaQ[b])
+			grad[a] = grad[a].Add(g)
+			grad[b] = grad[b].Sub(g)
+		}
+	}
+
+	// Bonded reference potential (harmonic + fitted linear terms).
+	for _, bd := range m.Bonds {
+		d := m.Pos[bd.I].Sub(m.Pos[bd.J])
+		r := d.Norm()
+		f := (bd.K*(r-bd.R0) + bd.C) / r
+		grad[bd.I] = grad[bd.I].Add(d.Scale(f))
+		grad[bd.J] = grad[bd.J].Sub(d.Scale(f))
+	}
+	for _, an := range m.Angles {
+		u := m.Pos[an.I].Sub(m.Pos[an.J])
+		w := m.Pos[an.Kk].Sub(m.Pos[an.J])
+		ru, rw := u.Norm(), w.Norm()
+		uh, wh := u.Scale(1/ru), w.Scale(1/rw)
+		cosT := uh.Dot(wh)
+		pref := an.K*(cosT-an.Cos0) + an.C
+		// ∂cosθ/∂I = (ŵ − cosθ·û)/|u|, ∂cosθ/∂K = (û − cosθ·ŵ)/|w|.
+		gi := wh.Sub(uh.Scale(cosT)).Scale(pref / ru)
+		gk := uh.Sub(wh.Scale(cosT)).Scale(pref / rw)
+		grad[an.I] = grad[an.I].Add(gi)
+		grad[an.Kk] = grad[an.Kk].Add(gk)
+		grad[an.J] = grad[an.J].Sub(gi.Add(gk))
+	}
+	for _, t := range m.Dihedrals {
+		delta := dihedralDelta(m.Pos[t.I], m.Pos[t.J], m.Pos[t.Kk], m.Pos[t.L], t.Phi0)
+		pref := t.K*delta + t.C
+		if pref == 0 {
+			continue
+		}
+		g := dihedralDeltaGrad(m.Pos[t.I], m.Pos[t.J], m.Pos[t.Kk], m.Pos[t.L], t.Phi0)
+		for gi2, atom := range [4]int{t.I, t.J, t.Kk, t.L} {
+			grad[atom] = grad[atom].Add(g[gi2].Scale(pref))
+		}
+	}
+
+	out := make([]geom.Vec3, na)
+	for a := range out {
+		out[a] = grad[a].Scale(-1)
+	}
+	return out
+}

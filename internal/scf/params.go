@@ -1,0 +1,71 @@
+package scf
+
+import "qframan/internal/constants"
+
+// Force constants of the bonded reference potential, in atomic units
+// (hartree/bohr² for bonds, hartree for cosine-harmonic angles). They are
+// parameterized so that, together with the electronic band contribution, the
+// model's normal modes land in the experimentally known regions: O–H stretch
+// ~3400–3700 cm⁻¹, C–H ~2900, amide C=O ~1650, CH₂/HOH bends ~1450–1600,
+// backbone C–N/C–C ~1000–1300. This is the tight-binding analogue of a
+// DFT functional + basis choice and is documented as a substitution in
+// DESIGN.md.
+
+// bondForceConstant returns k for an element pair; the bond length (Å) at
+// the reference geometry discriminates single from double bonds (e.g. the
+// 1.23 Å carbonyl vs a 1.41 Å C–O single bond).
+func bondForceConstant(a, b constants.Element, refLenA float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	switch {
+	case a == constants.H && b == constants.H:
+		return 0.35
+	case a == constants.H && b == constants.C:
+		return 0.42
+	case a == constants.H && b == constants.N:
+		return 0.52
+	case a == constants.H && b == constants.O:
+		return 0.44
+	case a == constants.H && b == constants.S:
+		return 0.23
+	case a == constants.C && b == constants.C:
+		if refLenA < 1.42 {
+			return 0.45 // aromatic/double
+		}
+		return 0.25
+	case a == constants.C && b == constants.N:
+		if refLenA < 1.38 {
+			return 0.50 // amide / partial double
+		}
+		return 0.38
+	case a == constants.C && b == constants.O:
+		if refLenA < 1.30 {
+			return 0.64 // carbonyl
+		}
+		return 0.35
+	case a == constants.C && b == constants.S:
+		return 0.18
+	case a == constants.N && b == constants.O:
+		return 0.40
+	case a == constants.O && b == constants.O:
+		return 0.30
+	}
+	return 0.25
+}
+
+// angleForceConstant returns the cosine-harmonic angle constant for the
+// triple i–j–k (j is the vertex).
+func angleForceConstant(i, j, k constants.Element) float64 {
+	switch j {
+	case constants.O:
+		return 0.09 // H–O–H bend target ~1600 cm⁻¹
+	case constants.N:
+		return 0.14
+	case constants.C:
+		return 0.13 // H–C–H bend target ~1450 cm⁻¹
+	case constants.S:
+		return 0.10
+	}
+	return 0.12
+}

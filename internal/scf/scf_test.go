@@ -1,0 +1,352 @@
+package scf
+
+import (
+	"math"
+	"testing"
+
+	"qframan/internal/constants"
+	"qframan/internal/geom"
+)
+
+// waterGeometry returns the experimental water geometry in Å.
+func waterGeometry() ([]constants.Element, []geom.Vec3) {
+	theta := 104.52 * math.Pi / 180
+	return []constants.Element{constants.O, constants.H, constants.H},
+		[]geom.Vec3{
+			{},
+			geom.V(0.9572, 0, 0),
+			geom.V(0.9572*math.Cos(theta), 0.9572*math.Sin(theta), 0),
+		}
+}
+
+// methane returns a tetrahedral CH4 in Å.
+func methane() ([]constants.Element, []geom.Vec3) {
+	d := 1.09 / math.Sqrt(3)
+	return []constants.Element{constants.C, constants.H, constants.H, constants.H, constants.H},
+		[]geom.Vec3{
+			{},
+			geom.V(d, d, d),
+			geom.V(d, -d, -d),
+			geom.V(-d, d, -d),
+			geom.V(-d, -d, d),
+		}
+}
+
+func solveWater(t *testing.T) (*Model, *Result) {
+	t.Helper()
+	els, pos := waterGeometry()
+	m, err := NewModel(els, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.SolveSCF(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, res
+}
+
+func TestWaterSCFConverges(t *testing.T) {
+	m, res := solveWater(t)
+	if res.Iterations <= 1 {
+		t.Fatal("SCF converged suspiciously fast; SCC term inactive?")
+	}
+	// Electron count: tr(P·S) = 8.
+	n := traceProduct(res.P, m.S)
+	if math.Abs(n-8) > 1e-8 {
+		t.Fatalf("tr(PS) = %v, want 8", n)
+	}
+	// Charge neutrality: Σ Δq = 0.
+	var sum float64
+	for _, q := range res.DeltaQ {
+		sum += q
+	}
+	if math.Abs(sum) > 1e-8 {
+		t.Fatalf("Σ Δq = %v", sum)
+	}
+	// Oxygen pulls electrons: Δq_O > 0 (electron excess), Δq_H < 0.
+	if res.DeltaQ[0] <= 0 || res.DeltaQ[1] >= 0 || res.DeltaQ[2] >= 0 {
+		t.Fatalf("unphysical charges %v (want O negative, H positive)", res.DeltaQ)
+	}
+	// HOMO-LUMO gap positive (closed-shell insulating molecule).
+	if res.Gap <= 0 {
+		t.Fatalf("gap = %v", res.Gap)
+	}
+	// Repulsive energy at the reference geometry is exactly zero (FF
+	// equilibria frozen there).
+	if math.Abs(res.ERep) > 1e-14 {
+		t.Fatalf("ERep at reference = %v", res.ERep)
+	}
+}
+
+func TestEnergyTranslationInvariance(t *testing.T) {
+	els, pos := waterGeometry()
+	m1, _ := NewModel(els, pos)
+	r1, err := m1.SolveSCF(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shift := geom.V(3.7, -2.1, 0.9)
+	pos2 := make([]geom.Vec3, len(pos))
+	for i, p := range pos {
+		pos2[i] = p.Add(shift)
+	}
+	m2, _ := NewModel(els, pos2)
+	r2, err := m2.SolveSCF(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.Energy-r2.Energy) > 1e-10 {
+		t.Fatalf("translation changed energy by %g", r1.Energy-r2.Energy)
+	}
+}
+
+func TestEnergyRotationInvariance(t *testing.T) {
+	els, pos := waterGeometry()
+	m1, _ := NewModel(els, pos)
+	r1, err := m1.SolveSCF(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	axis := geom.V(1, 2, -1)
+	pos2 := make([]geom.Vec3, len(pos))
+	for i, p := range pos {
+		pos2[i] = geom.RotateAbout(p, geom.Vec3{}, axis, 0.83)
+	}
+	m2, _ := NewModel(els, pos2)
+	r2, err := m2.SolveSCF(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.Energy-r2.Energy) > 1e-9 {
+		t.Fatalf("rotation changed energy by %g", r1.Energy-r2.Energy)
+	}
+}
+
+// totalEnergyAt computes the SCF energy with atom a displaced by delta bohr
+// along axis.
+func totalEnergyAt(t *testing.T, m *Model, atom, axis int, delta float64) float64 {
+	t.Helper()
+	md := m.Displaced(atom, axis, delta)
+	res, err := md.SolveSCF(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Energy
+}
+
+func testForcesAgainstFD(t *testing.T, els []constants.Element, pos []geom.Vec3) {
+	t.Helper()
+	m, err := NewModel(els, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.SolveSCF(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	forces := m.Forces(res)
+	const h = 1e-4
+	for a := 0; a < m.NumAtoms(); a++ {
+		want := geom.V(
+			-(totalEnergyAt(t, m, a, 0, h)-totalEnergyAt(t, m, a, 0, -h))/(2*h),
+			-(totalEnergyAt(t, m, a, 1, h)-totalEnergyAt(t, m, a, 1, -h))/(2*h),
+			-(totalEnergyAt(t, m, a, 2, h)-totalEnergyAt(t, m, a, 2, -h))/(2*h),
+		)
+		if forces[a].Sub(want).Norm() > 2e-6 {
+			t.Fatalf("atom %d: analytic force %v vs FD %v (diff %g)",
+				a, forces[a], want, forces[a].Sub(want).Norm())
+		}
+	}
+}
+
+func TestForcesMatchFiniteDifferenceWater(t *testing.T) {
+	els, pos := waterGeometry()
+	testForcesAgainstFD(t, els, pos)
+}
+
+func TestForcesMatchFiniteDifferenceMethane(t *testing.T) {
+	els, pos := methane()
+	testForcesAgainstFD(t, els, pos)
+}
+
+func TestForcesMatchFiniteDifferenceDistorted(t *testing.T) {
+	// Displaced geometry: FF terms active, Pulay terms large.
+	els, pos := waterGeometry()
+	pos[1] = pos[1].Add(geom.V(0.08, -0.05, 0.03))
+	pos[2] = pos[2].Add(geom.V(-0.04, 0.06, -0.07))
+	testForcesAgainstFD(t, els, pos)
+}
+
+func TestForcesMatchFDWithStrongSmearing(t *testing.T) {
+	// With a large electronic temperature the occupations are genuinely
+	// fractional; the analytic forces must equal the gradient of the
+	// Mermin free energy (which Result.Energy is).
+	els, pos := waterGeometry()
+	pos[1] = pos[1].Add(geom.V(0.06, -0.03, 0.02))
+	m, err := NewModel(els, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Smearing = 0.08
+	res, err := m.SolveSCF(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Confirm fractionality so the test is not vacuous.
+	fractional := false
+	for _, f := range res.Occ {
+		if f > 0.05 && f < 1.95 {
+			fractional = true
+		}
+	}
+	if !fractional {
+		t.Fatal("occupations not fractional at σ=0.08; raise σ")
+	}
+	forces := m.Forces(res)
+	const h = 1e-4
+	for a := 0; a < m.NumAtoms(); a++ {
+		var want geom.Vec3
+		for axis := 0; axis < 3; axis++ {
+			rp, err := m.Displaced(a, axis, h).SolveSCF(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rm, err := m.Displaced(a, axis, -h).SolveSCF(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := -(rp.Energy - rm.Energy) / (2 * h)
+			switch axis {
+			case 0:
+				want.X = g
+			case 1:
+				want.Y = g
+			case 2:
+				want.Z = g
+			}
+		}
+		if forces[a].Sub(want).Norm() > 5e-6 {
+			t.Fatalf("atom %d: smeared analytic force %v vs FD %v", a, forces[a], want)
+		}
+	}
+}
+
+func TestForcesSumToZero(t *testing.T) {
+	els, pos := waterGeometry()
+	pos[1] = pos[1].Add(geom.V(0.05, 0.02, -0.01))
+	m, _ := NewModel(els, pos)
+	res, err := m.SolveSCF(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum geom.Vec3
+	for _, f := range m.Forces(res) {
+		sum = sum.Add(f)
+	}
+	if sum.Norm() > 1e-9 {
+		t.Fatalf("force sum %v (translation invariance violated)", sum)
+	}
+}
+
+func TestWaterDipole(t *testing.T) {
+	m, res := solveWater(t)
+	mu := m.Dipole(res)
+	// Water is polar: |μ| between 0.1 and 2 a.u. and symmetric about the
+	// bisector plane (z component zero for our planar geometry).
+	if mu.Norm() < 0.05 || mu.Norm() > 2.5 {
+		t.Fatalf("water dipole magnitude %v a.u. unphysical", mu.Norm())
+	}
+	if math.Abs(mu.Z) > 1e-9 {
+		t.Fatalf("water dipole out of plane: %v", mu)
+	}
+	// It must point from O toward the H side (positive x+y region).
+	if mu.X <= 0 || mu.Y <= 0 {
+		t.Fatalf("water dipole direction %v (want toward hydrogens)", mu)
+	}
+}
+
+func TestFieldShiftsDipole(t *testing.T) {
+	els, pos := waterGeometry()
+	m, _ := NewModel(els, pos)
+	opt := DefaultOptions()
+	r0, err := m.SolveSCF(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu0 := m.Dipole(r0)
+	opt.Field = geom.V(0.005, 0, 0)
+	r1, err := m.SolveSCF(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu1 := m.Dipole(r1)
+	// With H_elec = +E·r for electrons, electrons move toward −E, so the
+	// dipole μ = ΣZR − tr(PD) gains a positive x component: polarizability
+	// α_xx = ∂μ_x/∂E_x must be positive.
+	if (mu1.X-mu0.X)/0.005 <= 0 {
+		t.Fatalf("α_xx = %v ≤ 0: field convention broken", (mu1.X-mu0.X)/0.005)
+	}
+}
+
+func TestOddElectronRejected(t *testing.T) {
+	if _, err := NewModel(
+		[]constants.Element{constants.H},
+		[]geom.Vec3{{}},
+	); err == nil {
+		t.Fatal("accepted an odd-electron fragment")
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	els, pos := waterGeometry()
+	m, _ := NewModel(els, pos)
+	for _, opt := range []Options{
+		{MaxIter: 0, Tol: 1e-8, Mixing: 0.4},
+		{MaxIter: 10, Tol: 0, Mixing: 0.4},
+		{MaxIter: 10, Tol: 1e-8, Mixing: 0},
+		{MaxIter: 10, Tol: 1e-8, Mixing: 1.5},
+	} {
+		if _, err := m.SolveSCF(opt); err == nil {
+			t.Fatalf("accepted options %+v", opt)
+		}
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	if _, err := NewModel(nil, nil); err == nil {
+		t.Fatal("accepted empty model")
+	}
+	if _, err := NewModel([]constants.Element{constants.O},
+		[]geom.Vec3{{}, {}}); err == nil {
+		t.Fatal("accepted mismatched lengths")
+	}
+}
+
+func TestFFDetectsWaterTopology(t *testing.T) {
+	els, pos := waterGeometry()
+	m, _ := NewModel(els, pos)
+	if len(m.Bonds) != 2 {
+		t.Fatalf("water bonds = %d, want 2", len(m.Bonds))
+	}
+	if len(m.Angles) != 1 {
+		t.Fatalf("water angles = %d, want 1", len(m.Angles))
+	}
+	if m.Angles[0].J != 0 {
+		t.Fatalf("angle vertex = %d, want O (0)", m.Angles[0].J)
+	}
+}
+
+func TestDisplacedKeepsFFEquilibria(t *testing.T) {
+	els, pos := waterGeometry()
+	m, _ := NewModel(els, pos)
+	md := m.Displaced(1, 0, 0.1)
+	// Same bonds with same equilibria, but nonzero ERep now.
+	if len(md.Bonds) != len(m.Bonds) || md.Bonds[0].R0 != m.Bonds[0].R0 {
+		t.Fatal("displacement changed force-field equilibria")
+	}
+	if e := md.repulsiveEnergy(); e <= 0 {
+		t.Fatalf("displaced repulsive energy %v, want > 0", e)
+	}
+}

@@ -1,0 +1,298 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"qframan/internal/fragment"
+	"qframan/internal/hessian"
+	"qframan/internal/scf"
+)
+
+// Options configures the goroutine runtime.
+type Options struct {
+	NumLeaders       int
+	WorkersPerLeader int
+	Packer           PackerOptions
+	Job              hessian.JobOptions
+	// Prefetch lets a leader request its next task while the current one
+	// is still executing (Fig. 4(d)/(e)); workers that finish early start
+	// on the prefetched task immediately.
+	Prefetch bool
+	// StragglerTimeout re-enqueues fragments that have been processing
+	// longer than this without completing (Fig. 4(a): "fragments processed
+	// for a long time but not yet completed are marked un-processed again").
+	// The first completion wins; late duplicates are discarded. Zero
+	// disables the watchdog.
+	StragglerTimeout time.Duration
+	// Process overrides the fragment engine (the leader's model build +
+	// displacement fan-out). Tests and custom engines use it; nil selects
+	// the built-in SCF+DFPT pipeline.
+	Process func(f *fragment.Fragment, opt Options) (*hessian.FragmentData, error)
+}
+
+// DefaultOptions sizes the runtime for functional (single-machine) runs.
+func DefaultOptions() Options {
+	return Options{
+		NumLeaders:       2,
+		WorkersPerLeader: 2,
+		Packer:           DefaultPackerOptions(2),
+		Job:              hessian.DefaultJobOptions(),
+		Prefetch:         true,
+	}
+}
+
+// LeaderStats records per-leader accounting for the load-balance analyses.
+type LeaderStats struct {
+	Tasks         int
+	Fragments     int
+	Displacements int
+	Busy          time.Duration
+}
+
+// Report summarizes a run.
+type Report struct {
+	Leaders  []LeaderStats
+	Elapsed  time.Duration
+	NumTasks int
+	// Requeues counts straggler re-enqueues performed by the watchdog.
+	Requeues int
+}
+
+// Run executes the displacement loops of all fragments on the three-level
+// runtime and returns per-fragment data in decomposition order.
+func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Report, error) {
+	if opt.NumLeaders <= 0 || opt.WorkersPerLeader <= 0 {
+		return nil, nil, fmt.Errorf("sched: need at least one leader and one worker")
+	}
+	nf := len(dec.Fragments)
+	sizes := make([]int, nf)
+	for i := range dec.Fragments {
+		sizes[i] = dec.Fragments[i].NumAtoms()
+	}
+	opt.Packer.NumLeaders = opt.NumLeaders
+	packer := NewPacker(sizes, opt.Packer)
+	process := opt.Process
+	if process == nil {
+		process = leaderProcessFragment
+	}
+
+	// The master hands out tasks through a mutex-guarded packer: this is
+	// the "leader-available → task-assignment" signal loop of Fig. 4(a),
+	// collapsed into synchronous calls because goroutines are cheap. The
+	// master also tracks per-fragment state for the straggler watchdog.
+	const (
+		statePending = iota
+		stateProcessing
+		stateDone
+	)
+	var mu sync.Mutex
+	state := make([]int, nf)
+	startedAt := make([]time.Time, nf)
+	var requeued []int
+	results := make([]*hessian.FragmentData, nf)
+	report := &Report{Leaders: make([]LeaderStats, opt.NumLeaders)}
+
+	nextTask := func() *Task {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(requeued) > 0 {
+			fi := requeued[0]
+			requeued = requeued[1:]
+			report.Requeues++
+			return &Task{ID: -1, Fragments: []int{fi}}
+		}
+		for {
+			t := packer.Next()
+			if t == nil {
+				return nil
+			}
+			// Drop fragments already completed via a requeue duplicate.
+			kept := t.Fragments[:0]
+			for _, fi := range t.Fragments {
+				if state[fi] == statePending {
+					kept = append(kept, fi)
+				}
+			}
+			if len(kept) > 0 {
+				t.Fragments = kept
+				return t
+			}
+		}
+	}
+	markProcessing := func(fi int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if state[fi] == stateDone {
+			return false
+		}
+		state[fi] = stateProcessing
+		startedAt[fi] = time.Now()
+		return true
+	}
+	complete := func(fi int, data *hessian.FragmentData) {
+		mu.Lock()
+		defer mu.Unlock()
+		if state[fi] != stateDone {
+			state[fi] = stateDone
+			results[fi] = data
+		}
+	}
+
+	errs := make([]error, opt.NumLeaders)
+	start := time.Now()
+	stopWatchdog := make(chan struct{})
+	if opt.StragglerTimeout > 0 {
+		go func() {
+			ticker := time.NewTicker(opt.StragglerTimeout / 4)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopWatchdog:
+					return
+				case <-ticker.C:
+					mu.Lock()
+					for fi := range state {
+						if state[fi] == stateProcessing && time.Since(startedAt[fi]) > opt.StragglerTimeout {
+							state[fi] = statePending
+							requeued = append(requeued, fi)
+						}
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for l := 0; l < opt.NumLeaders; l++ {
+		wg.Add(1)
+		go func(leaderID int) {
+			defer wg.Done()
+			stats := &report.Leaders[leaderID]
+			var pending *Task
+			for {
+				task := pending
+				pending = nil
+				if task == nil {
+					task = nextTask()
+				}
+				if task == nil {
+					return
+				}
+				if opt.Prefetch {
+					pending = nextTask()
+				}
+				t0 := time.Now()
+				for _, fi := range task.Fragments {
+					if !markProcessing(fi) {
+						continue // completed elsewhere meanwhile
+					}
+					data, err := process(&dec.Fragments[fi], opt)
+					if err != nil {
+						errs[leaderID] = err
+						return
+					}
+					complete(fi, data)
+					stats.Fragments++
+					stats.Displacements += 6 * dec.Fragments[fi].NumAtoms()
+				}
+				stats.Tasks++
+				stats.Busy += time.Since(t0)
+				mu.Lock()
+				report.NumTasks++
+				mu.Unlock()
+			}
+		}(l)
+	}
+	wg.Wait()
+	close(stopWatchdog)
+	report.Elapsed = time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	for i, r := range results {
+		if r == nil {
+			return nil, nil, fmt.Errorf("sched: fragment %d never processed", i)
+		}
+	}
+	return results, report, nil
+}
+
+// leaderProcessFragment runs one fragment: the leader builds the model,
+// generates all atomic displacements, and fans them out to its workers
+// (static partition — the computational strength of a fragment does not
+// change with the displaced atom, §V-A).
+func leaderProcessFragment(f *fragment.Fragment, opt Options) (*hessian.FragmentData, error) {
+	m, err := hessian.ModelForFragment(f)
+	if err != nil {
+		return nil, err
+	}
+	// One reference SCF+DFPT solve warm-starts all of this fragment's
+	// workers; if anything fails to converge the whole fragment escalates
+	// to the next smearing rung (all displacements must share one
+	// free-energy surface).
+	var refErr error
+	rungs := hessian.SmearingRungs(opt.Job.SCF.Smearing)
+	for ri, sigma := range rungs {
+		o := opt.Job
+		o.SCF.Smearing = sigma
+		refOpt, marginal, err := hessian.SolveReference(m, o)
+		if err != nil {
+			refErr = err
+			continue
+		}
+		if marginal && ri != len(rungs)-1 {
+			refErr = fmt.Errorf("sched: marginal response at σ=%g", sigma)
+			continue
+		}
+		data, err := runFragmentWorkers(f, m, opt, *refOpt)
+		if err == nil {
+			return data, nil
+		}
+		refErr = err
+	}
+	return nil, fmt.Errorf("sched: fragment %d failed at every smearing rung: %w", f.ID, refErr)
+}
+
+// runFragmentWorkers fans the displacement jobs out to the leader's workers.
+func runFragmentWorkers(f *fragment.Fragment, m *scf.Model, opt Options, jobOpt hessian.JobOptions) (*hessian.FragmentData, error) {
+	opt.Job = jobOpt
+	natoms := f.NumAtoms()
+	type dispJob struct{ atom, axis, sign int }
+	jobs := make([]dispJob, 0, 6*natoms)
+	for a := 0; a < natoms; a++ {
+		for d := 0; d < 3; d++ {
+			jobs = append(jobs, dispJob{a, d, +1}, dispJob{a, d, -1})
+		}
+	}
+	results := make([]*hessian.DisplacementResult, len(jobs))
+	errs := make([]error, opt.WorkersPerLeader)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.WorkersPerLeader; w++ {
+		wg.Add(1)
+		go func(workerID int) {
+			defer wg.Done()
+			// Static partition of displacements across workers.
+			for k := workerID; k < len(jobs); k += opt.WorkersPerLeader {
+				j := jobs[k]
+				r, err := hessian.RunDisplacement(m, j.atom, j.axis, j.sign, opt.Job)
+				if err != nil {
+					errs[workerID] = err
+					return
+				}
+				results[k] = r
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return hessian.BuildFragmentData(natoms, results, opt.Job.Step, !opt.Job.SkipAlpha)
+}

@@ -1,0 +1,133 @@
+package simhpc
+
+import (
+	"fmt"
+
+	"qframan/internal/sched"
+)
+
+// Paper workload magnitudes (§VII-B): fragment counts of the smallest
+// configurations; weak scaling doubles them with the node count.
+const (
+	// ORISEWaterFragments is the dimer count behind the paper's
+	// "3,343,536 fragments (with atomic displacement)": 90,366 six-atom
+	// dimers × (6·6+1) jobs.
+	ORISEWaterFragments   = 90366
+	ORISEProteinFragments = 88800   // 750 nodes
+	SunwayMixedFragments  = 4151294 // 12,000 nodes
+)
+
+// ORISENodeCounts and SunwayNodeCounts are the paper's evaluation points.
+var (
+	ORISENodeCounts  = []int{750, 1500, 3000, 6000}
+	SunwayNodeCounts = []int{12000, 24000, 48000, 96000}
+)
+
+// ExperimentRow is one line of a scaling experiment.
+type ExperimentRow struct {
+	RunResult
+	// Efficiency is relative to the first node count of the sweep (1.0).
+	Efficiency float64
+}
+
+// ExperimentOptions configures a sweep. Scale divides both node counts and
+// fragment counts, letting the paper's configurations (up to 96,000 nodes /
+// 25.9M fragments) run quickly at reduced size with identical ratios;
+// Scale=1 reproduces the full published configuration.
+type ExperimentOptions struct {
+	Scale    int
+	Packer   sched.PackerOptions
+	Prefetch bool
+	Seed     int64
+}
+
+// DefaultExperimentOptions uses the paper's policy at 1/16 scale.
+func DefaultExperimentOptions() ExperimentOptions {
+	return ExperimentOptions{
+		Scale:    16,
+		Packer:   sched.DefaultPackerOptions(0),
+		Prefetch: true,
+		Seed:     1,
+	}
+}
+
+func (o *ExperimentOptions) scaled(v int) int {
+	s := o.Scale
+	if s < 1 {
+		s = 1
+	}
+	n := v / s
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// StrongScaling runs a fixed workload across the node sweep (the paper's
+// Fig. 10).
+func StrongScaling(m Machine, w Workload, nodeCounts []int, opt ExperimentOptions) ([]ExperimentRow, error) {
+	var rows []ExperimentRow
+	var base *RunResult
+	for _, nodes := range nodeCounts {
+		res, err := Simulate(m, w, RunConfig{
+			Nodes:    opt.scaled(nodes),
+			Packer:   opt.Packer,
+			Prefetch: opt.Prefetch,
+			Seed:     opt.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if base == nil {
+			base = res
+		}
+		rows = append(rows, ExperimentRow{RunResult: *res, Efficiency: StrongEfficiency(base, res)})
+	}
+	return rows, nil
+}
+
+// WeakScaling doubles the workload with the node count (the paper's
+// Fig. 11). makeWorkload builds a workload with the requested fragment
+// count.
+func WeakScaling(m Machine, makeWorkload func(frags int) Workload, baseFrags int, nodeCounts []int, opt ExperimentOptions) ([]ExperimentRow, error) {
+	if len(nodeCounts) == 0 {
+		return nil, fmt.Errorf("simhpc: empty node sweep")
+	}
+	var rows []ExperimentRow
+	var base *RunResult
+	n0 := nodeCounts[0]
+	for _, nodes := range nodeCounts {
+		frags := int(int64(baseFrags) * int64(nodes) / int64(n0))
+		res, err := Simulate(m, makeWorkload(opt.scaled(frags)), RunConfig{
+			Nodes:    opt.scaled(nodes),
+			Packer:   opt.Packer,
+			Prefetch: opt.Prefetch,
+			Seed:     opt.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if base == nil {
+			base = res
+		}
+		rows = append(rows, ExperimentRow{RunResult: *res, Efficiency: WeakEfficiency(base, res)})
+	}
+	return rows, nil
+}
+
+// LoadBalance runs a fixed workload across the node sweep and reports the
+// execution-time variation across leader groups (the paper's Fig. 8): with
+// the population fixed, fewer fragments land on each leader as nodes grow,
+// so the variation widens — exactly the paper's observation ("the time
+// variance increases with the number of nodes").
+func LoadBalance(m Machine, w Workload, nodeCounts []int, opt ExperimentOptions) ([]ExperimentRow, error) {
+	return StrongScaling(m, w, nodeCounts, opt)
+}
+
+// SunwayMixedWorkload builds the Sunway mixed population: protein fragments
+// co-scheduled with water dimers (the paper co-locates both systems, which
+// it credits for Sunway's tighter balance).
+func SunwayMixedWorkload(frags int, seed int64) Workload {
+	nProtein := frags / 20 // ~5% protein-sized fragments
+	return MixedWorkload(nProtein, frags-nProtein, seed)
+}

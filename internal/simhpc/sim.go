@@ -1,0 +1,177 @@
+package simhpc
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"qframan/internal/sched"
+)
+
+// RunConfig configures one simulated execution.
+type RunConfig struct {
+	Nodes    int
+	Packer   sched.PackerOptions
+	Prefetch bool
+	Seed     int64
+}
+
+// ProcStats summarizes the per-leader-group execution-time distribution —
+// the quantity behind the paper's Fig. 8 (execution time variation across
+// computing nodes).
+type ProcStats struct {
+	MeanBusySeconds float64
+	// MinDeviation and MaxDeviation are (min−mean)/mean and
+	// (max−mean)/mean, e.g. −0.01 and +0.015 for the paper's −1%…+1.5%.
+	MinDeviation, MaxDeviation float64
+}
+
+// RunResult is the outcome of one simulation.
+type RunResult struct {
+	Machine   string
+	Nodes     int
+	Procs     int // total worker processes
+	Leaders   int // leader groups (scheduling units)
+	Fragments int
+	Jobs      int64 // displacement jobs
+	// MakespanSeconds is the virtual wall-clock time.
+	MakespanSeconds float64
+	// ThroughputJobs is displacement jobs per virtual second.
+	ThroughputJobs float64
+	// ThroughputFragments is fragments per virtual second (the paper's
+	// weak-scaling metric counts fragment·displacement units; both are
+	// reported).
+	ThroughputFragments float64
+	NumTasks            int
+	Proc                ProcStats
+	MasterBusySeconds   float64
+}
+
+// procEvent is a heap entry: the time a process becomes idle.
+type procEvent struct {
+	t    float64
+	proc int32
+}
+
+type eventHeap []procEvent
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(procEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// jitter returns a deterministic multiplicative noise factor for a fragment
+// on a process.
+func jitter(seed int64, frag, proc int, amplitude float64) float64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(frag)*0xC2B2AE3D27D4EB4F ^ uint64(proc)*0x165667B19E3779F9
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	u := float64(x&0xFFFFFF)/float64(1<<24)*2 - 1 // uniform in (−1,1)
+	return 1 + amplitude*u
+}
+
+// Simulate runs the workload on the machine at the given node count using
+// the system-size-sensitive (or ablation) packing policy and returns the
+// virtual-time results. The event loop models: idle process → master
+// assignment (serial master with service time + latency, hidden by
+// prefetch) → task execution (sum of per-fragment costs with deterministic
+// noise) → idle.
+func Simulate(m Machine, w Workload, cfg RunConfig) (*RunResult, error) {
+	if cfg.Nodes <= 0 || cfg.Nodes > m.MaxNodes {
+		return nil, fmt.Errorf("simhpc: %s supports 1–%d nodes, got %d", m.Name, m.MaxNodes, cfg.Nodes)
+	}
+	leaders := cfg.Nodes * m.LeadersPerNode
+	cfg.Packer.NumLeaders = leaders
+	packer := sched.NewPacker(w.Sizes, cfg.Packer)
+
+	busy := make([]float64, leaders)
+	var masterFree, makespan, masterBusy float64
+	h := make(eventHeap, leaders)
+	for p := range h {
+		h[p] = procEvent{t: 0, proc: int32(p)}
+	}
+	heap.Init(&h)
+
+	numTasks := 0
+	for {
+		task := packer.Next()
+		if task == nil {
+			break
+		}
+		numTasks++
+		ev := heap.Pop(&h).(procEvent)
+
+		// Master assignment: the serial master serves requests in order;
+		// without prefetch the process additionally idles for the
+		// round-trip latency.
+		start := math.Max(ev.t, masterFree)
+		masterFree = start + m.MasterServiceSeconds
+		masterBusy += m.MasterServiceSeconds
+		if !cfg.Prefetch {
+			// Un-prefetched assignment exposes the round-trip latency;
+			// with prefetch it is fully overlapped with the previous task.
+			start += m.AssignLatencySeconds
+		}
+
+		var cost float64
+		for _, fi := range task.Fragments {
+			cost += m.FragmentCostSeconds(w.Sizes[fi]) * jitter(cfg.Seed, fi, int(ev.proc), m.JitterFraction)
+		}
+		end := start + cost
+		busy[ev.proc] += cost
+		if end > makespan {
+			makespan = end
+		}
+		heap.Push(&h, procEvent{t: end, proc: ev.proc})
+	}
+
+	res := &RunResult{
+		Machine:           m.Name,
+		Nodes:             cfg.Nodes,
+		Procs:             leaders * m.WorkersPerLeader,
+		Leaders:           leaders,
+		Fragments:         len(w.Sizes),
+		Jobs:              w.TotalJobs(),
+		MakespanSeconds:   makespan,
+		NumTasks:          numTasks,
+		MasterBusySeconds: masterBusy,
+	}
+	if makespan > 0 {
+		res.ThroughputJobs = float64(res.Jobs) / makespan
+		res.ThroughputFragments = float64(res.Fragments) / makespan
+	}
+	var sum, min, max float64
+	min = math.Inf(1)
+	for _, b := range busy {
+		sum += b
+		min = math.Min(min, b)
+		max = math.Max(max, b)
+	}
+	mean := sum / float64(leaders)
+	res.Proc.MeanBusySeconds = mean
+	if mean > 0 {
+		res.Proc.MinDeviation = (min - mean) / mean
+		res.Proc.MaxDeviation = (max - mean) / mean
+	}
+	return res, nil
+}
+
+// Efficiency computes parallel efficiency of run r relative to base: ideal
+// scaling keeps nodes×time constant (strong scaling) or throughput/node
+// constant (weak scaling — pass the throughputs).
+func StrongEfficiency(base, r *RunResult) float64 {
+	return base.MakespanSeconds * float64(base.Nodes) / (r.MakespanSeconds * float64(r.Nodes))
+}
+
+// WeakEfficiency is throughput-per-node relative to the base run.
+func WeakEfficiency(base, r *RunResult) float64 {
+	return (r.ThroughputJobs / float64(r.Nodes)) / (base.ThroughputJobs / float64(base.Nodes))
+}

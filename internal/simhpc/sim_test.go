@@ -1,0 +1,225 @@
+package simhpc
+
+import (
+	"math"
+	"testing"
+
+	"qframan/internal/sched"
+)
+
+func testOpts() ExperimentOptions {
+	opt := DefaultExperimentOptions()
+	opt.Scale = 64 // keep unit tests fast
+	return opt
+}
+
+func TestSimulateBasics(t *testing.T) {
+	m := ORISE()
+	w := WaterDimerWorkload(5000)
+	res, err := Simulate(m, w, RunConfig{Nodes: 10, Packer: sched.DefaultPackerOptions(0), Prefetch: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Procs != 320 {
+		t.Fatalf("procs = %d, want 320", res.Procs)
+	}
+	if res.MakespanSeconds <= 0 || res.ThroughputJobs <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	if res.Jobs != int64(5000*(6*6+1)) {
+		t.Fatalf("jobs = %d", res.Jobs)
+	}
+	if res.Leaders != 40 {
+		t.Fatalf("leaders = %d, want 40", res.Leaders)
+	}
+	// Work conservation: total busy time ≈ Σ fragment costs.
+	var want float64
+	for _, s := range w.Sizes {
+		want += m.FragmentCostSeconds(s)
+	}
+	got := res.Proc.MeanBusySeconds * float64(res.Leaders)
+	if math.Abs(got-want)/want > m.JitterFraction {
+		t.Fatalf("busy-time sum %v vs workload cost %v", got, want)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	m := Sunway()
+	w := ProteinWorkload(2000, 7)
+	cfg := RunConfig{Nodes: 20, Packer: sched.DefaultPackerOptions(0), Prefetch: true, Seed: 3}
+	a, err := Simulate(m, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(m, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MakespanSeconds != b.MakespanSeconds || a.NumTasks != b.NumTasks {
+		t.Fatal("simulation not deterministic")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	m := ORISE()
+	w := WaterDimerWorkload(10)
+	if _, err := Simulate(m, w, RunConfig{Nodes: 0}); err == nil {
+		t.Fatal("accepted zero nodes")
+	}
+	if _, err := Simulate(m, w, RunConfig{Nodes: m.MaxNodes + 1}); err == nil {
+		t.Fatal("accepted too many nodes")
+	}
+}
+
+func TestCostModelMatchesPaperRatios(t *testing.T) {
+	m := ORISE()
+	r95 := m.FragmentCostSeconds(35) / m.FragmentCostSeconds(9)
+	if math.Abs(r95-5.4) > 0.3 {
+		t.Fatalf("35:9 fragment cost ratio %v, paper says 5.4", r95)
+	}
+	r19 := m.FragmentCostSeconds(68) / m.FragmentCostSeconds(9)
+	if math.Abs(r19-19) > 1.5 {
+		t.Fatalf("68:9 fragment cost ratio %v, paper says 19", r19)
+	}
+}
+
+func TestStrongScalingEfficiencyHigh(t *testing.T) {
+	opt := testOpts()
+	w := ProteinWorkload(ORISEProteinFragments/opt.Scale, 5)
+	rows, err := StrongScaling(ORISE(), w, ORISENodeCounts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Efficiency != 1 {
+		t.Fatalf("base efficiency %v", rows[0].Efficiency)
+	}
+	for i, r := range rows {
+		if r.Efficiency < 0.85 || r.Efficiency > 1.02 {
+			t.Fatalf("row %d efficiency %v out of the near-linear regime", i, r.Efficiency)
+		}
+	}
+	// Efficiency decreases (or stays) as nodes grow.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Efficiency > rows[i-1].Efficiency+0.02 {
+			t.Fatalf("efficiency increased anomalously: %v", rows)
+		}
+	}
+}
+
+func TestWeakScalingEfficiencyHigh(t *testing.T) {
+	opt := testOpts()
+	mk := func(frags int) Workload { return WaterDimerWorkload(frags) }
+	rows, err := WeakScaling(ORISE(), mk, ORISEWaterFragments, ORISENodeCounts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if r.Efficiency < 0.9 || r.Efficiency > 1.05 {
+			t.Fatalf("row %d weak efficiency %v", i, r.Efficiency)
+		}
+	}
+	// Throughput roughly doubles with nodes.
+	if rows[1].ThroughputJobs < 1.8*rows[0].ThroughputJobs {
+		t.Fatalf("throughput did not scale: %v vs %v", rows[1].ThroughputJobs, rows[0].ThroughputJobs)
+	}
+}
+
+func TestLoadBalanceDeviationsSmall(t *testing.T) {
+	opt := testOpts()
+	w := ProteinWorkload(ORISEProteinFragments/opt.Scale, 11)
+	rows, err := LoadBalance(ORISE(), w, ORISENodeCounts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Fig. 8: tight at the base configuration (−1%…+1.5%), widening
+	// as the fixed population spreads over more leaders (−9.2%…+12.7% at
+	// 6,000 nodes) but still bounded.
+	if rows[0].Proc.MaxDeviation > 0.05 || rows[0].Proc.MinDeviation < -0.05 {
+		t.Fatalf("base-config deviations %v/%v too large",
+			rows[0].Proc.MinDeviation, rows[0].Proc.MaxDeviation)
+	}
+	last := rows[len(rows)-1]
+	if last.Proc.MaxDeviation > 0.5 || last.Proc.MinDeviation < -0.5 {
+		t.Fatalf("largest-config deviations %v/%v out of bounds",
+			last.Proc.MinDeviation, last.Proc.MaxDeviation)
+	}
+	if last.Proc.MaxDeviation <= rows[0].Proc.MaxDeviation {
+		t.Fatalf("variation did not widen with node count: %v → %v",
+			rows[0].Proc.MaxDeviation, last.Proc.MaxDeviation)
+	}
+}
+
+func TestSizeSensitiveBeatsStaticBlock(t *testing.T) {
+	opt := testOpts()
+	w := ProteinWorkload(40000, 13)
+	cfgDyn := RunConfig{Nodes: 40, Packer: sched.DefaultPackerOptions(0), Prefetch: true, Seed: 1}
+	dyn, err := Simulate(ORISE(), w, cfgDyn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := sched.DefaultPackerOptions(0)
+	pk.Policy = sched.StaticBlock
+	static, err := Simulate(ORISE(), w, RunConfig{Nodes: 40, Packer: pk, Prefetch: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.MakespanSeconds >= static.MakespanSeconds {
+		t.Fatalf("size-sensitive makespan %v not better than static %v",
+			dyn.MakespanSeconds, static.MakespanSeconds)
+	}
+	_ = opt
+}
+
+func TestPrefetchHelpsWithoutBatching(t *testing.T) {
+	// With single-fragment FIFO tasks and an assignment latency comparable
+	// to the task length, the master round trip is exposed; prefetch must
+	// shorten the makespan. (At the real machines' microsecond latencies
+	// the effect is tiny per task but accumulates over millions of tasks.)
+	w := WaterDimerWorkload(60000)
+	pk := sched.DefaultPackerOptions(0)
+	pk.Policy = sched.FIFO
+	pk.FIFOTaskSize = 1
+	m := ORISE()
+	m.AssignLatencySeconds = 0.5
+	with, err := Simulate(m, w, RunConfig{Nodes: 8, Packer: pk, Prefetch: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Simulate(m, w, RunConfig{Nodes: 8, Packer: pk, Prefetch: false, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.MakespanSeconds >= without.MakespanSeconds {
+		t.Fatalf("prefetch %v not faster than no-prefetch %v",
+			with.MakespanSeconds, without.MakespanSeconds)
+	}
+}
+
+func TestWorkloadGenerators(t *testing.T) {
+	w := WaterDimerWorkload(10)
+	for _, s := range w.Sizes {
+		if s != 6 {
+			t.Fatal("water dimer fragments must have 6 atoms")
+		}
+	}
+	p := ProteinWorkload(500, 3)
+	min, max := p.Sizes[0], p.Sizes[0]
+	for _, s := range p.Sizes {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if min < 5 || max > 100 || max-min < 10 {
+		t.Fatalf("protein fragment sizes [%d,%d] implausible", min, max)
+	}
+	mix := SunwayMixedWorkload(1000, 3)
+	if len(mix.Sizes) != 1000 {
+		t.Fatalf("mixed workload size %d", len(mix.Sizes))
+	}
+}
