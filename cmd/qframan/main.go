@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"qframan/internal/core"
+	"qframan/internal/faults"
 	"qframan/internal/structure"
 )
 
@@ -39,12 +40,44 @@ func main() {
 	leaders := flag.Int("leaders", max(1, runtime.NumCPU()/2), "parallel leaders")
 	workers := flag.Int("workers", 2, "workers per leader")
 	out := flag.String("o", "", "spectrum output TSV (default stdout)")
+
+	var ft faultFlags
+	flag.IntVar(&ft.retries, "retries", faults.DefaultRetryPolicy().MaxAttempts, "processing attempts per fragment before a transient failure is final")
+	flag.IntVar(&ft.maxFailed, "max-failed", 0, "fail-soft budget: complete degraded with up to K failed fragments dropped")
+	flag.Float64Var(&ft.rate, "fault-rate", 0, "chaos: inject transient worker failures at this per-attempt probability")
+	flag.Int64Var(&ft.seed, "fault-seed", 1, "chaos: injection seed")
+	flag.IntVar(&ft.failFrag, "fail-frag", -1, "chaos: force this fragment index into deterministic failure")
+	flag.DurationVar(&ft.straggler, "straggler-timeout", 0, "requeue fragments processing longer than this (0 disables the watchdog)")
 	flag.Parse()
 
 	if err := run(*in, *seq, *fold, *dimers, *waterBox, *solvate,
-		*fmin, *fmax, *fstep, *sigma, *k, *dense, *leaders, *workers, *out, *irOut); err != nil {
+		*fmin, *fmax, *fstep, *sigma, *k, *dense, *leaders, *workers, *out, *irOut, ft); err != nil {
 		fmt.Fprintln(os.Stderr, "qframan:", err)
 		os.Exit(1)
+	}
+}
+
+// faultFlags bundles the fault-tolerance knobs.
+type faultFlags struct {
+	retries   int
+	maxFailed int
+	rate      float64
+	seed      int64
+	failFrag  int
+	straggler time.Duration
+}
+
+// apply wires the flags into the scheduler options.
+func (ft faultFlags) apply(cfg *core.Config) {
+	cfg.Sched.Retry.MaxAttempts = ft.retries
+	cfg.Sched.MaxFailedFragments = ft.maxFailed
+	cfg.Sched.StragglerTimeout = ft.straggler
+	if ft.rate > 0 || ft.failFrag >= 0 {
+		fc := faults.Config{Seed: ft.seed, TransientRate: ft.rate}
+		if ft.failFrag >= 0 {
+			fc.HardFailFrags = []int{ft.failFrag}
+		}
+		cfg.Sched.Injector = faults.NewInjector(fc)
 	}
 }
 
@@ -75,7 +108,7 @@ func buildSystem(in, seq string, fold, dimers, waterBox int, solvate bool) (*str
 }
 
 func run(in, seq string, fold, dimers, waterBox int, solvate bool,
-	fmin, fmax, fstep, sigma float64, k int, dense bool, leaders, workers int, out, irOut string) error {
+	fmin, fmax, fstep, sigma float64, k int, dense bool, leaders, workers int, out, irOut string, ft faultFlags) error {
 
 	sys, err := buildSystem(in, seq, fold, dimers, waterBox, solvate)
 	if err != nil {
@@ -92,6 +125,7 @@ func run(in, seq string, fold, dimers, waterBox int, solvate bool,
 	cfg.Sched.NumLeaders = leaders
 	cfg.Sched.WorkersPerLeader = workers
 	cfg.IR = irOut != ""
+	ft.apply(&cfg)
 
 	t0 := time.Now()
 	res, err := core.ComputeRaman(sys, cfg)
@@ -104,6 +138,14 @@ func run(in, seq string, fold, dimers, waterBox int, solvate bool,
 		st.NumRRPairs, st.NumRWPairs, st.NumWWPairs, st.MinAtoms, st.MaxAtoms)
 	fmt.Fprintf(os.Stderr, "tasks: %d over %d leaders; elapsed %v\n",
 		res.SchedReport.NumTasks, len(res.SchedReport.Leaders), time.Since(t0))
+	if rep := res.SchedReport; rep.Retries > 0 || rep.Requeues > 0 || rep.Panics > 0 || rep.Degraded {
+		fmt.Fprintf(os.Stderr, "faults: %d retries, %d straggler requeues, %d recovered panics\n",
+			rep.Retries, rep.Requeues, rep.Panics)
+		if rep.Degraded {
+			fmt.Fprintf(os.Stderr, "DEGRADED RUN: fragments %v failed; their Eq. 1 terms are missing from the spectrum\n",
+				rep.Failed)
+		}
+	}
 
 	w := os.Stdout
 	if out != "" {

@@ -24,11 +24,17 @@ func main() {
 	exp := flag.String("exp", "all", "fig8 | fig9 | fig10 | fig11 | table1 | all")
 	scale := flag.Int("scale", 16, "divide the published node and fragment counts by this factor (1 = full scale)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	withFaults := flag.Bool("faults", false, "inject node failures into the simulations (per-node MTBF from -mtbf)")
+	mtbf := flag.Float64("mtbf", 86400, "per-node mean time between failures in virtual seconds (with -faults)")
 	flag.Parse()
 
 	opt := simhpc.DefaultExperimentOptions()
 	opt.Scale = *scale
 	opt.Seed = *seed
+	if *withFaults {
+		opt.NodeMTBFSeconds = *mtbf
+		fmt.Printf("faults on: per-node MTBF %.0fs (system MTBF divides by the node count)\n\n", *mtbf)
+	}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -113,8 +119,8 @@ func fig10(opt simhpc.ExperimentOptions) error {
 	show := func(label string, rows []simhpc.ExperimentRow) {
 		fmt.Printf("%s:\n", label)
 		for _, r := range rows {
-			fmt.Printf("  nodes(scaled) %6d: makespan %8.1fs  efficiency %5.1f%%\n",
-				r.Nodes, r.MakespanSeconds, 100*r.Efficiency)
+			fmt.Printf("  nodes(scaled) %6d: makespan %8.1fs  efficiency %5.1f%%%s\n",
+				r.Nodes, r.MakespanSeconds, 100*r.Efficiency, faultNote(r))
 		}
 	}
 	w := simhpc.WaterDimerWorkload(opt1(simhpc.ORISEWaterFragments, opt))
@@ -138,6 +144,14 @@ func fig10(opt simhpc.ExperimentOptions) error {
 	return nil
 }
 
+// faultNote annotates a row with its fault-recovery cost when faults are on.
+func faultNote(r simhpc.ExperimentRow) string {
+	if r.Retries == 0 {
+		return ""
+	}
+	return fmt.Sprintf("  retries %d (%.1fs wasted)", r.Retries, r.WastedSeconds)
+}
+
 func opt1(v int, opt simhpc.ExperimentOptions) int {
 	s := opt.Scale
 	if s < 1 {
@@ -158,8 +172,8 @@ func fig11(opt simhpc.ExperimentOptions) error {
 	show := func(label string, rows []simhpc.ExperimentRow) {
 		fmt.Printf("%s:\n", label)
 		for _, r := range rows {
-			fmt.Printf("  nodes(scaled) %6d: %9.1f frags/s (×%d ≈ full scale)  efficiency %5.1f%%\n",
-				r.Nodes, r.ThroughputFragments, opt.Scale, 100*r.Efficiency)
+			fmt.Printf("  nodes(scaled) %6d: %9.1f frags/s (×%d ≈ full scale)  efficiency %5.1f%%%s\n",
+				r.Nodes, r.ThroughputFragments, opt.Scale, 100*r.Efficiency, faultNote(r))
 		}
 	}
 	mkW := func(f int) simhpc.Workload { return simhpc.WaterDimerWorkload(f) }

@@ -71,7 +71,10 @@ func ComputeRamanDecomposed(sys *structure.System, dec *fragment.Decomposition, 
 	if err != nil {
 		return nil, fmt.Errorf("core: fragment jobs: %w", err)
 	}
-	g, err := hessian.Assemble(dec, sys.Masses(), datas, !cfg.Sched.Job.SkipAlpha)
+	// A degraded run (fail-soft budget consumed) completes with nil data at
+	// report.Failed; the assembly drops exactly those fragments' signed
+	// Eq. 1 terms and records them in Global.Dropped.
+	g, err := hessian.AssembleDegraded(dec, sys.Masses(), datas, !cfg.Sched.Job.SkipAlpha, report.Failed)
 	if err != nil {
 		return nil, fmt.Errorf("core: assemble: %w", err)
 	}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"qframan/internal/faults"
+	"qframan/internal/fragment"
+	"qframan/internal/raman"
+	"qframan/internal/structure"
+)
+
+// chaosSched dials the fault machinery up on a config: aggressive transient
+// injection (errors + NaN divergences) that bounded retries must fully
+// absorb.
+func chaosSched(cfg *Config, seed int64) {
+	cfg.Sched.Retry = faults.RetryPolicy{
+		MaxAttempts:    5,
+		Base:           200 * time.Microsecond,
+		Max:            2 * time.Millisecond,
+		Multiplier:     2,
+		JitterFraction: 0.2,
+	}
+	cfg.Sched.Injector = faults.NewInjector(faults.Config{
+		Seed:           seed,
+		TransientRate:  0.5,
+		NaNRate:        0.3,
+		MaxPerFragment: 2,
+	})
+}
+
+func specEqual(a, b *raman.Spectrum) bool {
+	if len(a.Intensity) != len(b.Intensity) {
+		return false
+	}
+	for i := range a.Intensity {
+		if a.Intensity[i] != b.Intensity[i] || a.Freq[i] != b.Freq[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFaultInjectedRunBitMatchesCleanRun is the golden zero-loss guarantee:
+// a run whose fragments suffer injected transient failures and NaN
+// divergences — all absorbed by retries — produces the *bit-identical*
+// spectrum of a fault-free run.
+func TestFaultInjectedRunBitMatchesCleanRun(t *testing.T) {
+	sys := structure.BuildWaterDimerSystem(2)
+	clean, err := ComputeRaman(sys, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := fastConfig()
+	chaosSched(&cfg, 3)
+	res, err := ComputeRaman(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SchedReport.Retries == 0 {
+		t.Fatal("chaos config injected no faults — the bit-match proves nothing")
+	}
+	if res.SchedReport.Degraded || len(res.SchedReport.Failed) != 0 {
+		t.Fatalf("retries should have absorbed every fault, got failed %v", res.SchedReport.Failed)
+	}
+	if !specEqual(clean.Spectrum, res.Spectrum) {
+		t.Fatal("fault-injected spectrum differs from the fault-free spectrum")
+	}
+}
+
+// TestFaultInjectedPeptideBitMatches is the same guarantee on a real
+// peptide decomposition (residue fragments, concaps, pairs).
+func TestFaultInjectedPeptideBitMatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("peptide end-to-end run is expensive")
+	}
+	sys, err := structure.BuildProtein("GAGA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := ComputeRaman(sys, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig()
+	chaosSched(&cfg, 11)
+	res, err := ComputeRaman(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SchedReport.Retries == 0 {
+		t.Fatal("chaos config injected no faults")
+	}
+	if !specEqual(clean.Spectrum, res.Spectrum) {
+		t.Fatal("fault-injected peptide spectrum differs from the fault-free spectrum")
+	}
+}
+
+// TestDegradedWaterFragmentSpectrum drops one water fragment through the
+// fail-soft path and checks the degraded spectrum stays close (cosine
+// similarity ≥ 0.90) to the complete one — the paper-scale story: losing
+// one fragment out of many shifts the spectrum, it does not destroy it.
+func TestDegradedWaterFragmentSpectrum(t *testing.T) {
+	sys := structure.BuildWaterDimerSystem(2)
+	full, err := ComputeRaman(sys, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick a one-body water fragment to kill.
+	victim := -1
+	for i := range full.Decomposition.Fragments {
+		if full.Decomposition.Fragments[i].Kind == fragment.KindWater {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no water fragment in a water-dimer decomposition")
+	}
+
+	cfg := fastConfig()
+	cfg.Sched.MaxFailedFragments = 1
+	cfg.Sched.Injector = faults.NewInjector(faults.Config{Seed: 1, HardFailFrags: []int{victim}})
+	res, err := ComputeRaman(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.SchedReport
+	if !rep.Degraded || len(rep.Failed) != 1 || rep.Failed[0] != victim {
+		t.Fatalf("want degraded run with Failed == [%d], got degraded=%v failed=%v", victim, rep.Degraded, rep.Failed)
+	}
+	if len(res.Global.Dropped) != 1 || res.Global.Dropped[0] != victim {
+		t.Fatalf("assembly ledger Dropped = %v, want [%d]", res.Global.Dropped, victim)
+	}
+	if res.Spectrum == nil || len(res.Spectrum.Intensity) == 0 {
+		t.Fatal("degraded run produced no spectrum")
+	}
+	sim := raman.CosineSimilarity(res.Spectrum, full.Spectrum)
+	t.Logf("degraded-vs-full cosine similarity: %v", sim)
+	if sim < 0.90 {
+		t.Fatalf("degraded spectrum too far from the full one: cosine %v < 0.90", sim)
+	}
+	if specEqual(res.Spectrum, full.Spectrum) {
+		t.Fatal("dropping a fragment changed nothing — the degradation path is not real")
+	}
+}

@@ -1,0 +1,73 @@
+package faults
+
+import (
+	"math"
+	"time"
+)
+
+// RetryPolicy bounds per-fragment retries of transient failures and spaces
+// them with capped exponential backoff. Attempt numbers are 1-based: the
+// first retry (attempt 2) waits roughly Base, the next roughly
+// Base·Multiplier, and so on up to Max.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of processing attempts a fragment
+	// gets before its transient failures are treated as deterministic.
+	// Zero or negative means a single attempt (no retries).
+	MaxAttempts int
+	// Base is the backoff before the first retry.
+	Base time.Duration
+	// Max caps the backoff growth.
+	Max time.Duration
+	// Multiplier is the exponential growth factor (values < 1 are treated
+	// as 2).
+	Multiplier float64
+	// JitterFraction spreads each backoff by ±JitterFraction
+	// deterministically in (frag, attempt), decorrelating retry storms
+	// without hurting reproducibility.
+	JitterFraction float64
+	// Seed feeds the deterministic jitter.
+	Seed int64
+}
+
+// DefaultRetryPolicy suits both tests and functional runs: three attempts
+// with millisecond-scale backoff (the in-process runtime has no network to
+// soothe; the policy shape, not the absolute scale, is what production
+// deployments tune).
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:    3,
+		Base:           time.Millisecond,
+		Max:            50 * time.Millisecond,
+		Multiplier:     2,
+		JitterFraction: 0.2,
+	}
+}
+
+// Attempts returns the effective total attempt budget (at least 1).
+func (p RetryPolicy) Attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Backoff returns the wait before retrying frag after its attempt-th
+// attempt failed (attempt ≥ 1).
+func (p RetryPolicy) Backoff(frag, attempt int) time.Duration {
+	if p.Base <= 0 {
+		return 0
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	d := float64(p.Base) * math.Pow(mult, float64(attempt-1))
+	if p.Max > 0 && d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if p.JitterFraction > 0 {
+		u := Uniform(p.Seed, frag, attempt, 0x77) // in [0,1)
+		d *= 1 + p.JitterFraction*(2*u-1)
+	}
+	return time.Duration(d)
+}

@@ -9,6 +9,7 @@ package hessian
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"qframan/internal/constants"
 	"qframan/internal/dfpt"
@@ -93,6 +94,40 @@ type FragmentData struct {
 	// DDipole[k][3a+d] = ∂μ_k/∂r_{a,d} (a.u.) — the IR analogue of DAlpha,
 	// essentially free from the same displacement results.
 	DDipole [3][]float64
+}
+
+// Validate scans the fragment data for NaN or Inf entries — a diverged
+// SCF/DFPT response that slipped through the solvers' own checks, or an
+// injected divergence from the chaos harness. A nil receiver and nil
+// sub-fields are accepted (test fakes and Hessian-only runs omit pieces).
+func (fd *FragmentData) Validate() error {
+	if fd == nil {
+		return nil
+	}
+	if fd.Hess != nil {
+		for r := 0; r < fd.Hess.Rows; r++ {
+			for c := 0; c < fd.Hess.Cols; c++ {
+				if v := fd.Hess.At(r, c); math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("hessian: non-finite Hessian entry (%d,%d) = %v", r, c, v)
+				}
+			}
+		}
+	}
+	for comp, d := range fd.DAlpha {
+		for i, v := range d {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("hessian: non-finite ∂α component %d entry %d = %v", comp, i, v)
+			}
+		}
+	}
+	for k, d := range fd.DDipole {
+		for i, v := range d {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("hessian: non-finite ∂μ component %d entry %d = %v", k, i, v)
+			}
+		}
+	}
+	return nil
 }
 
 // BuildFragmentData assembles finite differences from the 6N displacement
@@ -277,6 +312,10 @@ type Global struct {
 	DDipole [3][]float64
 	// Masses are the per-atom masses in electron masses.
 	Masses []float64
+	// Dropped lists the fragments (decomposition indices, ascending) whose
+	// signed Eq. 1 terms are missing from this assembly — the fail-soft
+	// ledger of a degraded run. Empty for a complete assembly.
+	Dropped []int
 }
 
 // Assemble combines per-fragment data with the Eq. 1 coefficients into the
@@ -286,9 +325,27 @@ type Global struct {
 // dropped — their contributions cancel between the positively and negatively
 // signed terms of the combination.
 func Assemble(dec *fragment.Decomposition, massesAMU []float64, frags []*FragmentData, withAlpha bool) (*Global, error) {
+	return AssembleDegraded(dec, massesAMU, frags, withAlpha, nil)
+}
+
+// AssembleDegraded is Assemble with a fail-soft allowance: fragments listed
+// in failed may have nil data — their signed Eq. 1 terms are dropped from
+// the sums and recorded in Global.Dropped — so a run that lost K fragments
+// still yields a spectrum with exactly-known missing contributions. A nil
+// entry for a fragment *not* in failed is still an error: silent data loss
+// must never assemble.
+func AssembleDegraded(dec *fragment.Decomposition, massesAMU []float64, frags []*FragmentData, withAlpha bool, failed []int) (*Global, error) {
 	if len(frags) != len(dec.Fragments) {
 		return nil, fmt.Errorf("hessian: %d fragment data for %d fragments", len(frags), len(dec.Fragments))
 	}
+	allowMissing := make(map[int]bool, len(failed))
+	for _, fi := range failed {
+		if fi < 0 || fi >= len(dec.Fragments) {
+			return nil, fmt.Errorf("hessian: failed fragment index %d out of range", fi)
+		}
+		allowMissing[fi] = true
+	}
+	var dropped []int
 	natoms := len(massesAMU)
 	n3 := 3 * natoms
 	massesAU := make([]float64, natoms)
@@ -311,6 +368,10 @@ func Assemble(dec *fragment.Decomposition, massesAMU []float64, frags []*Fragmen
 		f := &dec.Fragments[fi]
 		data := frags[fi]
 		if data == nil {
+			if allowMissing[fi] {
+				dropped = append(dropped, fi)
+				continue
+			}
 			return nil, fmt.Errorf("hessian: missing data for fragment %d", fi)
 		}
 		for la, ga := range f.GlobalIdx {
@@ -356,7 +417,8 @@ func Assemble(dec *fragment.Decomposition, massesAMU []float64, frags []*Fragmen
 		sqrtM[3*a+2] = s
 	}
 	b.ScaleRowsCols(sqrtM)
-	g := &Global{H: b.Build(), Masses: massesAU}
+	sort.Ints(dropped)
+	g := &Global{H: b.Build(), Masses: massesAU, Dropped: dropped}
 	if withAlpha {
 		for c := 0; c < 6; c++ {
 			for i := 0; i < n3; i++ {

@@ -1,10 +1,14 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 	"time"
 
+	"qframan/internal/faults"
 	"qframan/internal/fragment"
 	"qframan/internal/hessian"
 	"qframan/internal/scf"
@@ -26,6 +30,21 @@ type Options struct {
 	// The first completion wins; late duplicates are discarded. Zero
 	// disables the watchdog.
 	StragglerTimeout time.Duration
+	// Retry bounds per-fragment retries of transient failures (injected
+	// chaos, recovered panics, NaN-poisoned results) with exponential
+	// backoff. Deterministic failures — the engine's own convergence
+	// errors after every smearing rung — are never retried: they reproduce.
+	Retry faults.RetryPolicy
+	// MaxFailedFragments is the fail-soft budget K: a run may complete
+	// "degraded" with up to K deterministically-failed fragments, whose
+	// signed Eq. 1 terms the assembly then drops (Report.Failed lists
+	// them). Zero keeps the strict behavior: any unrecoverable fragment
+	// aborts the run.
+	MaxFailedFragments int
+	// Injector, when non-nil, is consulted before every processing attempt
+	// and may stall it, fail it, poison its result with NaNs, or panic —
+	// the chaos-testing hook (see internal/faults).
+	Injector faults.Injector
 	// Process overrides the fragment engine (the leader's model build +
 	// displacement fan-out). Tests and custom engines use it; nil selects
 	// the built-in SCF+DFPT pipeline.
@@ -40,6 +59,7 @@ func DefaultOptions() Options {
 		Packer:           DefaultPackerOptions(2),
 		Job:              hessian.DefaultJobOptions(),
 		Prefetch:         true,
+		Retry:            faults.DefaultRetryPolicy(),
 	}
 }
 
@@ -58,10 +78,43 @@ type Report struct {
 	NumTasks int
 	// Requeues counts straggler re-enqueues performed by the watchdog.
 	Requeues int
+	// Retries counts failed attempts that were re-enqueued by the retry
+	// policy (transient failures only).
+	Retries int
+	// Panics counts attempts that panicked and were recovered at a leader.
+	Panics int
+	// Failed lists the fragments (ascending) that exhausted recovery and
+	// were dropped under the MaxFailedFragments budget; their result slots
+	// are nil and their Eq. 1 terms are missing from any assembly.
+	Failed []int
+	// Degraded is true when Failed is non-empty: the run completed but the
+	// spectrum omits the failed fragments' contributions.
+	Degraded bool
 }
 
+// fragment lifecycle states tracked by the master.
+const (
+	statePending = iota
+	stateProcessing
+	stateDone
+	stateFailed
+)
+
+// retryEntry is a fragment waiting out its backoff before re-dispatch.
+type retryEntry struct {
+	fi      int
+	readyAt time.Time
+}
+
+// waitTick is how long an idle leader sleeps when unresolved fragments
+// exist but none is dispatchable yet (backoff pending or processing
+// elsewhere).
+const waitTick = time.Millisecond
+
 // Run executes the displacement loops of all fragments on the three-level
-// runtime and returns per-fragment data in decomposition order.
+// runtime and returns per-fragment data in decomposition order. With a
+// fail-soft budget (Options.MaxFailedFragments > 0) the returned slice may
+// contain nils exactly at Report.Failed.
 func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Report, error) {
 	if opt.NumLeaders <= 0 || opt.WorkersPerLeader <= 0 {
 		return nil, nil, fmt.Errorf("sched: need at least one leader and one worker")
@@ -81,32 +134,54 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 	// The master hands out tasks through a mutex-guarded packer: this is
 	// the "leader-available → task-assignment" signal loop of Fig. 4(a),
 	// collapsed into synchronous calls because goroutines are cheap. The
-	// master also tracks per-fragment state for the straggler watchdog.
-	const (
-		statePending = iota
-		stateProcessing
-		stateDone
-	)
+	// master also tracks per-fragment state for the straggler watchdog and
+	// the retry/fail-soft ledger.
 	var mu sync.Mutex
 	state := make([]int, nf)
+	attempts := make([]int, nf)
 	startedAt := make([]time.Time, nf)
-	var requeued []int
+	var retryQ []retryEntry
+	var failed []int
+	resolved := 0 // fragments done or failed
+	aborted := false
+	var abortErrs []error
 	results := make([]*hessian.FragmentData, nf)
 	report := &Report{Leaders: make([]LeaderStats, opt.NumLeaders)}
 
-	nextTask := func() *Task {
+	// nextTask pops dispatchable work. A nil task with wait=true means
+	// "nothing to hand out *yet*": fragments are still processing (and may
+	// fail back into the queue) or waiting out a backoff, so the leader
+	// should stay alive and poll. wait=false means the run is over for
+	// this leader (all fragments resolved, or aborting).
+	nextTask := func() (*Task, bool) {
 		mu.Lock()
 		defer mu.Unlock()
-		if len(requeued) > 0 {
-			fi := requeued[0]
-			requeued = requeued[1:]
-			report.Requeues++
-			return &Task{ID: -1, Fragments: []int{fi}}
+		if aborted {
+			return nil, false
+		}
+		// Compact the retry queue — entries resolved elsewhere are stale —
+		// and dispatch the first one whose backoff has elapsed.
+		now := time.Now()
+		kept := retryQ[:0]
+		var ready *Task
+		for _, e := range retryQ {
+			if state[e.fi] != statePending {
+				continue
+			}
+			if ready == nil && !e.readyAt.After(now) {
+				ready = &Task{ID: -1, Fragments: []int{e.fi}}
+				continue
+			}
+			kept = append(kept, e)
+		}
+		retryQ = kept
+		if ready != nil {
+			return ready, false
 		}
 		for {
 			t := packer.Next()
 			if t == nil {
-				return nil
+				return nil, resolved < nf
 			}
 			// Drop fragments already completed via a requeue duplicate.
 			kept := t.Fragments[:0]
@@ -117,30 +192,121 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 			}
 			if len(kept) > 0 {
 				t.Fragments = kept
-				return t
+				return t, false
 			}
 		}
 	}
-	markProcessing := func(fi int) bool {
+	// markProcessing claims a fragment for one attempt and returns its
+	// 1-based attempt number.
+	markProcessing := func(fi int) (int, bool) {
 		mu.Lock()
 		defer mu.Unlock()
-		if state[fi] == stateDone {
-			return false
+		if state[fi] != statePending {
+			return 0, false
 		}
 		state[fi] = stateProcessing
 		startedAt[fi] = time.Now()
-		return true
+		attempts[fi]++
+		return attempts[fi], true
 	}
-	complete := func(fi int, data *hessian.FragmentData) {
+	complete := func(fi int, data *hessian.FragmentData) bool {
 		mu.Lock()
 		defer mu.Unlock()
-		if state[fi] != stateDone {
-			state[fi] = stateDone
-			results[fi] = data
+		if state[fi] == stateDone || state[fi] == stateFailed {
+			return false // a duplicate (straggler) attempt lost the race
+		}
+		state[fi] = stateDone
+		results[fi] = data
+		resolved++
+		return true
+	}
+	// restore returns undispatched fragments (a prefetched task, or the
+	// unprocessed remainder of the current task) to the pool when a leader
+	// exits early, so surviving leaders can finish them instead of the run
+	// ending with fragments silently un-processed.
+	restore := func(frags []int) {
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now()
+		for _, fi := range frags {
+			if state[fi] == statePending {
+				retryQ = append(retryQ, retryEntry{fi: fi, readyAt: now})
+			}
 		}
 	}
+	// fail records one failed attempt. Transient failures inside the retry
+	// budget go back to the queue with backoff; anything else consumes the
+	// fail-soft budget or aborts the run. Returns false when the leader
+	// should stop (run aborting). Only the attempt that currently owns the
+	// fragment may drive its state: a stale attempt — one the watchdog
+	// already requeued and another leader restarted — reports nothing.
+	fail := func(fi, attempt int, err error) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if state[fi] != stateProcessing || attempts[fi] != attempt {
+			return !aborted
+		}
+		if faults.IsTransient(err) && attempts[fi] < opt.Retry.Attempts() {
+			state[fi] = statePending
+			report.Retries++
+			retryQ = append(retryQ, retryEntry{
+				fi:      fi,
+				readyAt: time.Now().Add(opt.Retry.Backoff(fi, attempts[fi])),
+			})
+			return true
+		}
+		if len(failed) < opt.MaxFailedFragments {
+			state[fi] = stateFailed
+			failed = append(failed, fi)
+			resolved++
+			return true
+		}
+		aborted = true
+		abortErrs = append(abortErrs, fmt.Errorf("sched: fragment %d (attempt %d): %w", fi, attempts[fi], err))
+		return false
+	}
 
-	errs := make([]error, opt.NumLeaders)
+	// attemptFragment runs one processing attempt under the injector's
+	// chaos plan, with panics recovered and results scrubbed for NaN.
+	attemptFragment := func(fi, attempt int) (data *hessian.FragmentData, err error) {
+		var act faults.Action
+		if opt.Injector != nil {
+			act = opt.Injector.Plan(fi, attempt)
+		}
+		if act.Delay > 0 {
+			time.Sleep(act.Delay)
+		}
+		if act.Err != nil {
+			return nil, act.Err
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				report.Panics++
+				mu.Unlock()
+				data, err = nil, faults.Recovered(r)
+			}
+		}()
+		if act.Panic {
+			panic(fmt.Sprintf("faults: injected panic (fragment %d attempt %d)", fi, attempt))
+		}
+		data, err = process(&dec.Fragments[fi], opt)
+		if err != nil {
+			return nil, err
+		}
+		if act.NaN && data != nil && data.Hess != nil {
+			data.Hess.Set(0, 0, math.NaN())
+		}
+		if verr := data.Validate(); verr != nil {
+			if act.NaN {
+				// The divergence was injected: the clean retry will succeed.
+				verr = faults.MarkTransient(verr)
+			}
+			return nil, fmt.Errorf("sched: fragment %d result rejected: %w", fi, verr)
+		}
+		return data, nil
+	}
+
 	start := time.Now()
 	stopWatchdog := make(chan struct{})
 	if opt.StragglerTimeout > 0 {
@@ -153,10 +319,12 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 					return
 				case <-ticker.C:
 					mu.Lock()
+					now := time.Now()
 					for fi := range state {
-						if state[fi] == stateProcessing && time.Since(startedAt[fi]) > opt.StragglerTimeout {
+						if state[fi] == stateProcessing && now.Sub(startedAt[fi]) > opt.StragglerTimeout {
 							state[fi] = statePending
-							requeued = append(requeued, fi)
+							report.Requeues++
+							retryQ = append(retryQ, retryEntry{fi: fi, readyAt: now})
 						}
 					}
 					mu.Unlock()
@@ -172,31 +340,46 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 			defer wg.Done()
 			stats := &report.Leaders[leaderID]
 			var pending *Task
+			defer func() {
+				if pending != nil {
+					restore(pending.Fragments)
+				}
+			}()
 			for {
 				task := pending
 				pending = nil
 				if task == nil {
-					task = nextTask()
+					var wait bool
+					task, wait = nextTask()
+					if task == nil {
+						if !wait {
+							return
+						}
+						time.Sleep(waitTick)
+						continue
+					}
 				}
-				if task == nil {
-					return
-				}
-				if opt.Prefetch {
-					pending = nextTask()
+				if opt.Prefetch && pending == nil {
+					pending, _ = nextTask()
 				}
 				t0 := time.Now()
-				for _, fi := range task.Fragments {
-					if !markProcessing(fi) {
+				for i, fi := range task.Fragments {
+					attempt, ok := markProcessing(fi)
+					if !ok {
 						continue // completed elsewhere meanwhile
 					}
-					data, err := process(&dec.Fragments[fi], opt)
+					data, err := attemptFragment(fi, attempt)
 					if err != nil {
-						errs[leaderID] = err
-						return
+						if !fail(fi, attempt, err) {
+							restore(task.Fragments[i+1:])
+							return
+						}
+						continue
 					}
-					complete(fi, data)
-					stats.Fragments++
-					stats.Displacements += 6 * dec.Fragments[fi].NumAtoms()
+					if complete(fi, data) {
+						stats.Fragments++
+						stats.Displacements += 6 * dec.Fragments[fi].NumAtoms()
+					}
 				}
 				stats.Tasks++
 				stats.Busy += time.Since(t0)
@@ -209,13 +392,21 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 	wg.Wait()
 	close(stopWatchdog)
 	report.Elapsed = time.Since(start)
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
-		}
+
+	sort.Ints(failed)
+	report.Failed = failed
+	report.Degraded = len(failed) > 0
+	if len(abortErrs) > 0 {
+		// Prefer the real failures over any "never processed" bookkeeping:
+		// every leader's abort reason is reported, none masked.
+		return nil, nil, errors.Join(abortErrs...)
+	}
+	failedSet := make(map[int]bool, len(failed))
+	for _, fi := range failed {
+		failedSet[fi] = true
 	}
 	for i, r := range results {
-		if r == nil {
+		if r == nil && !failedSet[i] {
 			return nil, nil, fmt.Errorf("sched: fragment %d never processed", i)
 		}
 	}
@@ -289,10 +480,8 @@ func runFragmentWorkers(f *fragment.Fragment, m *scf.Model, opt Options, jobOpt 
 		}(w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return hessian.BuildFragmentData(natoms, results, opt.Job.Step, !opt.Job.SkipAlpha)
 }

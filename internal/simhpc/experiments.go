@@ -39,6 +39,10 @@ type ExperimentOptions struct {
 	Packer   sched.PackerOptions
 	Prefetch bool
 	Seed     int64
+	// NodeMTBFSeconds > 0 runs the sweep with injected node failures (see
+	// RunConfig.NodeMTBFSeconds) so Fig. 8/10/11-style experiments expose
+	// the load-balance and efficiency cost of fault recovery.
+	NodeMTBFSeconds float64
 }
 
 // DefaultExperimentOptions uses the paper's policy at 1/16 scale.
@@ -70,10 +74,11 @@ func StrongScaling(m Machine, w Workload, nodeCounts []int, opt ExperimentOption
 	var base *RunResult
 	for _, nodes := range nodeCounts {
 		res, err := Simulate(m, w, RunConfig{
-			Nodes:    opt.scaled(nodes),
-			Packer:   opt.Packer,
-			Prefetch: opt.Prefetch,
-			Seed:     opt.Seed,
+			Nodes:           opt.scaled(nodes),
+			Packer:          opt.Packer,
+			Prefetch:        opt.Prefetch,
+			Seed:            opt.Seed,
+			NodeMTBFSeconds: opt.NodeMTBFSeconds,
 		})
 		if err != nil {
 			return nil, err
@@ -99,10 +104,11 @@ func WeakScaling(m Machine, makeWorkload func(frags int) Workload, baseFrags int
 	for _, nodes := range nodeCounts {
 		frags := int(int64(baseFrags) * int64(nodes) / int64(n0))
 		res, err := Simulate(m, makeWorkload(opt.scaled(frags)), RunConfig{
-			Nodes:    opt.scaled(nodes),
-			Packer:   opt.Packer,
-			Prefetch: opt.Prefetch,
-			Seed:     opt.Seed,
+			Nodes:           opt.scaled(nodes),
+			Packer:          opt.Packer,
+			Prefetch:        opt.Prefetch,
+			Seed:            opt.Seed,
+			NodeMTBFSeconds: opt.NodeMTBFSeconds,
 		})
 		if err != nil {
 			return nil, err

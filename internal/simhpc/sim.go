@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"qframan/internal/faults"
 	"qframan/internal/sched"
 )
 
@@ -14,7 +15,20 @@ type RunConfig struct {
 	Packer   sched.PackerOptions
 	Prefetch bool
 	Seed     int64
+	// NodeMTBFSeconds, when positive, turns faults on: each node fails
+	// with an exponential mean time between failures of this many virtual
+	// seconds, killing the task its leader group is executing at a uniform
+	// point of its execution. The wasted partial work is paid and the task
+	// re-executes on the same group — the paper-scale effect is dramatic
+	// because the *system* MTBF divides by the node count (a 24 h per-node
+	// MTBF across 96,000 nodes is one failure every ~0.9 s).
+	NodeMTBFSeconds float64
 }
+
+// maxSimRetries caps re-executions of one task so a cost ≫ MTBF
+// configuration degrades into a visibly terrible makespan instead of an
+// unbounded loop.
+const maxSimRetries = 50
 
 // ProcStats summarizes the per-leader-group execution-time distribution —
 // the quantity behind the paper's Fig. 8 (execution time variation across
@@ -45,6 +59,12 @@ type RunResult struct {
 	NumTasks            int
 	Proc                ProcStats
 	MasterBusySeconds   float64
+	// Retries counts task re-executions caused by injected node failures
+	// (zero when RunConfig.NodeMTBFSeconds is off).
+	Retries int64
+	// WastedSeconds is the total partial work lost to those failures,
+	// summed over all leader groups.
+	WastedSeconds float64
 }
 
 // procEvent is a heap entry: the time a process becomes idle.
@@ -101,6 +121,8 @@ func Simulate(m Machine, w Workload, cfg RunConfig) (*RunResult, error) {
 	heap.Init(&h)
 
 	numTasks := 0
+	var retries int64
+	var totalWasted float64
 	for {
 		task := packer.Next()
 		if task == nil {
@@ -125,8 +147,25 @@ func Simulate(m Machine, w Workload, cfg RunConfig) (*RunResult, error) {
 		for _, fi := range task.Fragments {
 			cost += m.FragmentCostSeconds(w.Sizes[fi]) * jitter(cfg.Seed, fi, int(ev.proc), m.JitterFraction)
 		}
-		end := start + cost
-		busy[ev.proc] += cost
+		// Node-failure injection: draw per execution attempt; a failure at
+		// a uniform fraction of the task wastes that partial work and the
+		// task restarts from scratch (the runtime's straggler requeue plus
+		// retry make this the dominant recovery path at scale).
+		var wasted float64
+		if cfg.NodeMTBFSeconds > 0 {
+			pFail := 1 - math.Exp(-cost/cfg.NodeMTBFSeconds)
+			for attempt := 1; attempt <= maxSimRetries; attempt++ {
+				if faults.Uniform(cfg.Seed, task.ID, int(ev.proc)*64+attempt, 0x6A) >= pFail {
+					break
+				}
+				frac := faults.Uniform(cfg.Seed, task.ID, int(ev.proc)*64+attempt, 0x6B)
+				wasted += frac * cost
+				retries++
+			}
+		}
+		end := start + wasted + cost
+		busy[ev.proc] += wasted + cost
+		totalWasted += wasted
 		if end > makespan {
 			makespan = end
 		}
@@ -143,6 +182,8 @@ func Simulate(m Machine, w Workload, cfg RunConfig) (*RunResult, error) {
 		MakespanSeconds:   makespan,
 		NumTasks:          numTasks,
 		MasterBusySeconds: masterBusy,
+		Retries:           retries,
+		WastedSeconds:     totalWasted,
 	}
 	if makespan > 0 {
 		res.ThroughputJobs = float64(res.Jobs) / makespan

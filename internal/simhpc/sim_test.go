@@ -223,3 +223,63 @@ func TestWorkloadGenerators(t *testing.T) {
 		t.Fatalf("mixed workload size %d", len(mix.Sizes))
 	}
 }
+
+func TestSimulateWithNodeFaults(t *testing.T) {
+	m := ORISE()
+	w := WaterDimerWorkload(5000)
+	base := RunConfig{Nodes: 10, Packer: sched.DefaultPackerOptions(0), Prefetch: true, Seed: 1}
+	clean, err := Simulate(m, w, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Retries != 0 || clean.WastedSeconds != 0 {
+		t.Fatalf("faults off must mean zero retries, got %d / %vs", clean.Retries, clean.WastedSeconds)
+	}
+
+	faulty := base
+	faulty.NodeMTBFSeconds = 100 // task costs are ~seconds: failures are frequent
+	res, err := Simulate(m, w, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries == 0 {
+		t.Fatal("aggressive MTBF injected no failures")
+	}
+	if res.WastedSeconds <= 0 {
+		t.Fatal("retries must waste partial work")
+	}
+	if res.MakespanSeconds <= clean.MakespanSeconds {
+		t.Fatalf("fault recovery cannot be free: faulty makespan %v vs clean %v",
+			res.MakespanSeconds, clean.MakespanSeconds)
+	}
+	// Every fragment is still processed exactly the workload's job count —
+	// failures re-execute work, they never drop it.
+	if res.Jobs != clean.Jobs || res.Fragments != clean.Fragments {
+		t.Fatalf("fault injection changed the workload: %+v vs %+v", res, clean)
+	}
+
+	// Determinism: same seed, same faults, same makespan.
+	res2, err := Simulate(m, w, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.MakespanSeconds != res.MakespanSeconds || res2.Retries != res.Retries {
+		t.Fatal("fault injection is not deterministic in the seed")
+	}
+}
+
+func TestExperimentSweepsWithFaults(t *testing.T) {
+	opt := testOpts()
+	opt.NodeMTBFSeconds = 200
+	rows, err := StrongScaling(ORISE(), WaterDimerWorkload(3000), ORISENodeCounts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retries int64
+	for _, r := range rows {
+		retries += r.Retries
+	}
+	if retries == 0 {
+		t.Fatal("fault-enabled sweep recorded no retries")
+	}
+}
