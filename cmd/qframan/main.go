@@ -19,6 +19,8 @@ import (
 
 	"qframan/internal/core"
 	"qframan/internal/faults"
+	"qframan/internal/sched"
+	"qframan/internal/store"
 	"qframan/internal/structure"
 )
 
@@ -48,13 +50,42 @@ func main() {
 	flag.Int64Var(&ft.seed, "fault-seed", 1, "chaos: injection seed")
 	flag.IntVar(&ft.failFrag, "fail-frag", -1, "chaos: force this fragment index into deterministic failure")
 	flag.DurationVar(&ft.straggler, "straggler-timeout", 0, "requeue fragments processing longer than this (0 disables the watchdog)")
+
+	var cf cacheFlags
+	flag.StringVar(&cf.dir, "cache-dir", "", "content-addressed fragment-result store directory (enables checkpointing and within-run dedup)")
+	flag.BoolVar(&cf.resume, "resume", false, "serve fragment results checkpointed by previous runs of -cache-dir")
+	flag.BoolVar(&cf.checkpoint, "checkpoint", true, "write fragment results to -cache-dir as they complete")
 	flag.Parse()
 
 	if err := run(*in, *seq, *fold, *dimers, *waterBox, *solvate,
-		*fmin, *fmax, *fstep, *sigma, *k, *dense, *leaders, *workers, *out, *irOut, ft); err != nil {
+		*fmin, *fmax, *fstep, *sigma, *k, *dense, *leaders, *workers, *out, *irOut, ft, cf); err != nil {
 		fmt.Fprintln(os.Stderr, "qframan:", err)
 		os.Exit(1)
 	}
+}
+
+// cacheFlags bundles the checkpoint-store knobs.
+type cacheFlags struct {
+	dir        string
+	resume     bool
+	checkpoint bool
+}
+
+// apply opens the store (when configured) and wires it into the scheduler
+// options. The caller owns the returned store and must Close it.
+func (cf cacheFlags) apply(cfg *core.Config) (*store.Store, error) {
+	if cf.dir == "" {
+		if cf.resume {
+			return nil, fmt.Errorf("-resume requires -cache-dir")
+		}
+		return nil, nil
+	}
+	st, err := store.Open(cf.dir)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Sched.Cache = sched.CacheOptions{Store: st, Resume: cf.resume, ReadOnly: !cf.checkpoint}
+	return st, nil
 }
 
 // faultFlags bundles the fault-tolerance knobs.
@@ -108,7 +139,7 @@ func buildSystem(in, seq string, fold, dimers, waterBox int, solvate bool) (*str
 }
 
 func run(in, seq string, fold, dimers, waterBox int, solvate bool,
-	fmin, fmax, fstep, sigma float64, k int, dense bool, leaders, workers int, out, irOut string, ft faultFlags) error {
+	fmin, fmax, fstep, sigma float64, k int, dense bool, leaders, workers int, out, irOut string, ft faultFlags, cf cacheFlags) error {
 
 	sys, err := buildSystem(in, seq, fold, dimers, waterBox, solvate)
 	if err != nil {
@@ -126,6 +157,13 @@ func run(in, seq string, fold, dimers, waterBox int, solvate bool,
 	cfg.Sched.WorkersPerLeader = workers
 	cfg.IR = irOut != ""
 	ft.apply(&cfg)
+	cstore, err := cf.apply(&cfg)
+	if err != nil {
+		return err
+	}
+	if cstore != nil {
+		defer cstore.Close()
+	}
 
 	t0 := time.Now()
 	res, err := core.ComputeRaman(sys, cfg)
@@ -138,6 +176,17 @@ func run(in, seq string, fold, dimers, waterBox int, solvate bool,
 		st.NumRRPairs, st.NumRWPairs, st.NumWWPairs, st.MinAtoms, st.MaxAtoms)
 	fmt.Fprintf(os.Stderr, "tasks: %d over %d leaders; elapsed %v\n",
 		res.SchedReport.NumTasks, len(res.SchedReport.Leaders), time.Since(t0))
+	if cstore != nil {
+		rep := res.SchedReport
+		fmt.Fprintf(os.Stderr, "cache: %d hits (%d resumed, %d deduped), %d misses",
+			rep.CacheHits, rep.Resumed, rep.Deduped, rep.CacheMisses)
+		if rep.StoreErrors > 0 {
+			fmt.Fprintf(os.Stderr, ", %d store errors", rep.StoreErrors)
+		}
+		ss := cstore.Stats()
+		fmt.Fprintf(os.Stderr, "; store: %d objects, %d bytes, %.2fx dedup\n",
+			ss.Objects, ss.Bytes, ss.DedupRatio)
+	}
 	if rep := res.SchedReport; rep.Retries > 0 || rep.Requeues > 0 || rep.Panics > 0 || rep.Degraded {
 		fmt.Fprintf(os.Stderr, "faults: %d retries, %d straggler requeues, %d recovered panics\n",
 			rep.Retries, rep.Requeues, rep.Panics)

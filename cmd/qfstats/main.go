@@ -8,18 +8,25 @@
 // stream, so the 100M-atom scale needs no 100M-atom allocation. A -waterbox
 // smaller than the paper's (e.g. 120) keeps the run under a minute; pass
 // -waterbox 324 for the full 101,250,000-atom box (≈10–20 minutes).
+//
+// With -store <dir> the command instead inspects a qframan checkpoint store:
+// record count, bytes on disk, per-fragment-size histogram, and the dedup
+// ratio (logical fragment results served per stored record).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"qframan/internal/fragment"
+	"qframan/internal/store"
 	"qframan/internal/structure"
 )
 
 func main() {
+	storeDir := flag.String("store", "", "inspect this qframan checkpoint store instead of computing system statistics")
 	residues := flag.Int("residues", 3180, "total residues across the trimer (paper: 3,180)")
 	chains := flag.Int("chains", 3, "number of chains (paper: trimer)")
 	fold := flag.Int("fold", 24, "serpentine fold period per chain")
@@ -27,6 +34,14 @@ func main() {
 	waterbox := flag.Int("waterbox", 120, "solvent box edge in molecules (324 ≈ the paper's 101.25M atoms)")
 	lambda := flag.Float64("lambda", 4.0, "two-body threshold λ in Å")
 	flag.Parse()
+
+	if *storeDir != "" {
+		if err := storeStats(*storeDir); err != nil {
+			fmt.Fprintln(os.Stderr, "qfstats:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	perChain := *residues / *chains
 	seq := structure.RandomSequence(perChain, *seed)
@@ -61,4 +76,24 @@ func main() {
 	fmt.Printf("  water–water pairs:  %12d   (%.2f per molecule; paper: 128,341,476 ≈ 3.80)\n",
 		pairs, float64(pairs)/float64(frags))
 	fmt.Printf("  elapsed: %v\n", time.Since(t0))
+}
+
+// storeStats prints the checkpoint-store summary for qfstats -store.
+func storeStats(dir string) error {
+	s, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	st := s.Stats()
+	fmt.Printf("checkpoint store %s:\n", dir)
+	fmt.Printf("  records:           %8d\n", st.Objects)
+	fmt.Printf("  bytes:             %8d\n", st.Bytes)
+	fmt.Printf("  logical results:   %8d   (fragment completions backed by the store)\n", st.Logical)
+	fmt.Printf("  dedup ratio:       %8.2f   (logical results per stored record)\n", st.DedupRatio)
+	fmt.Println("  fragment-size histogram (atoms → records):")
+	for _, n := range st.SortedSizes() {
+		fmt.Printf("    %4d atoms: %6d\n", n, st.SizeHistogram[n])
+	}
+	return nil
 }

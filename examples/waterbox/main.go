@@ -6,19 +6,26 @@
 // two-body terms of Eq. 1.
 //
 //	go run ./examples/waterbox
+//	go run ./examples/waterbox -cache-dir /tmp/qfcache   # rerun to see a warm cache
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"qframan/internal/core"
 	"qframan/internal/geom"
+	"qframan/internal/sched"
+	"qframan/internal/store"
 	"qframan/internal/structure"
 )
 
 func main() {
+	cacheDir := flag.String("cache-dir", "", "checkpoint/cache store directory (reruns are served from it)")
+	flag.Parse()
+
 	// A 3×3×3 box (27 molecules, 81 atoms) at liquid density: large enough
 	// for every molecule to have λ-neighbors, small enough to run in about
 	// a minute. The same code runs any box size.
@@ -29,6 +36,14 @@ func main() {
 	cfg.Raman.FreqMin, cfg.Raman.FreqMax, cfg.Raman.FreqStep = 50, 4000, 5
 	cfg.Raman.Sigma = 20 // the paper's solvated-system smearing
 	cfg.Raman.LanczosK = 120
+	if *cacheDir != "" {
+		s, err := store.Open(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer s.Close()
+		cfg.Sched.Cache = sched.CacheOptions{Store: s, Resume: true}
+	}
 
 	res, err := core.ComputeRaman(sys, cfg)
 	if err != nil {
@@ -37,6 +52,12 @@ func main() {
 	st := res.Decomposition.Stats
 	fmt.Printf("fragments: %d one-body waters + %d water-water pairs → %d Eq.1 terms\n",
 		st.NumWaterFragments, st.NumWWPairs, st.TotalFragments)
+	if *cacheDir != "" {
+		rep := res.SchedReport
+		total := rep.CacheHits + rep.CacheMisses
+		fmt.Printf("cache: recomputed %d fragments; dedup+hit rate %.1f%% (%d resumed, %d deduped)\n",
+			rep.CacheMisses, 100*float64(rep.CacheHits)/float64(total), rep.Resumed, rep.Deduped)
+	}
 
 	spec := res.Spectrum
 	spec.Normalize()

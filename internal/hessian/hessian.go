@@ -96,6 +96,70 @@ type FragmentData struct {
 	DDipole [3][]float64
 }
 
+// NumAtoms returns the atom count implied by the data's dimensions (the
+// Hessian is 3N×3N and the derivative vectors have 3N entries), or 0 when
+// no block is present.
+func (fd *FragmentData) NumAtoms() int {
+	if fd == nil {
+		return 0
+	}
+	switch {
+	case fd.Hess != nil:
+		return fd.Hess.Rows / 3
+	case fd.DAlpha[0] != nil:
+		return len(fd.DAlpha[0]) / 3
+	case fd.DDipole[0] != nil:
+		return len(fd.DDipole[0]) / 3
+	}
+	return 0
+}
+
+// BitEqual reports whether two fragment data are identical to the last
+// float64 bit, including the presence pattern of optional blocks. The
+// checkpoint codec and the crash-resume tests rely on this strict notion of
+// equality: a resumed run must reproduce an uninterrupted run exactly.
+func (fd *FragmentData) BitEqual(o *FragmentData) bool {
+	if fd == nil || o == nil {
+		return fd == o
+	}
+	if (fd.Hess == nil) != (o.Hess == nil) {
+		return false
+	}
+	if fd.Hess != nil {
+		if fd.Hess.Rows != o.Hess.Rows || fd.Hess.Cols != o.Hess.Cols {
+			return false
+		}
+		for i, v := range fd.Hess.Data {
+			if math.Float64bits(v) != math.Float64bits(o.Hess.Data[i]) {
+				return false
+			}
+		}
+	}
+	for c := range fd.DAlpha {
+		if !bitEqualSlice(fd.DAlpha[c], o.DAlpha[c]) {
+			return false
+		}
+	}
+	for k := range fd.DDipole {
+		if !bitEqualSlice(fd.DDipole[k], o.DDipole[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+func bitEqualSlice(a, b []float64) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if math.Float64bits(v) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Validate scans the fragment data for NaN or Inf entries — a diverged
 // SCF/DFPT response that slipped through the solvers' own checks, or an
 // injected divergence from the chaos harness. A nil receiver and nil

@@ -1,0 +1,323 @@
+package sched
+
+import (
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"qframan/internal/constants"
+	"qframan/internal/faults"
+	"qframan/internal/fragment"
+	"qframan/internal/geom"
+	"qframan/internal/hessian"
+	"qframan/internal/store"
+)
+
+// cacheDecomposition builds nf synthetic fragments with distinct collinear
+// geometries: every fragment gets a unique content key, and the collinear
+// poses keep the canonical frames rotation-free so the 1×1 fake payloads
+// never meet the tensor rotations (which require 3N-dimensional data).
+func cacheDecomposition(nf int) *fragment.Decomposition {
+	dec := &fragment.Decomposition{Fragments: make([]fragment.Fragment, nf)}
+	for i := range dec.Fragments {
+		pos := make([]geom.Vec3, 3)
+		for j := range pos {
+			pos[j] = geom.Vec3{X: float64(j) * (1 + float64(i)/16)}
+		}
+		dec.Fragments[i] = fragment.Fragment{
+			ID:  i,
+			Els: []constants.Element{constants.O, constants.H, constants.H},
+			Pos: pos,
+		}
+	}
+	return dec
+}
+
+// cacheOptions wires a store into minimal single-leader options with a
+// counting engine.
+func cacheOptions(t *testing.T, s *store.Store, resume bool, calls *atomic.Int64) Options {
+	t.Helper()
+	opt := DefaultOptions()
+	opt.NumLeaders = 2
+	opt.WorkersPerLeader = 1
+	opt.Cache = CacheOptions{Store: s, Resume: resume}
+	opt.Process = func(f *fragment.Fragment, _ Options) (*hessian.FragmentData, error) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		return fakeData(f.ID), nil
+	}
+	return opt
+}
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestCacheWarmRunZeroRecompute: a second run over the same system must be
+// served entirely from the store — zero engine calls, zero misses.
+func TestCacheWarmRunZeroRecompute(t *testing.T) {
+	dir := t.TempDir()
+	dec := cacheDecomposition(12)
+
+	var cold atomic.Int64
+	s := openStore(t, dir)
+	datas, rep, err := Run(dec, cacheOptions(t, s, false, &cold))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExactlyOnce(t, dec, datas, rep)
+	if cold.Load() != 12 || rep.CacheMisses != 12 || rep.CacheHits != 0 {
+		t.Fatalf("cold run: %d engine calls, %d misses, %d hits; want 12/12/0",
+			cold.Load(), rep.CacheMisses, rep.CacheHits)
+	}
+	s.Close()
+
+	var warm atomic.Int64
+	s2 := openStore(t, dir)
+	datas2, rep2, err := Run(dec, cacheOptions(t, s2, true, &warm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExactlyOnce(t, dec, datas2, rep2)
+	if warm.Load() != 0 {
+		t.Fatalf("warm run invoked the engine %d times, want 0", warm.Load())
+	}
+	if rep2.CacheMisses != 0 || rep2.Resumed != 12 || rep2.CacheHits != 12 || rep2.Deduped != 0 {
+		t.Fatalf("warm run: misses=%d resumed=%d hits=%d deduped=%d; want 0/12/12/0",
+			rep2.CacheMisses, rep2.Resumed, rep2.CacheHits, rep2.Deduped)
+	}
+	for i := range datas {
+		if !datas[i].BitEqual(datas2[i]) {
+			t.Fatalf("fragment %d: warm result is not bit-identical to cold", i)
+		}
+	}
+}
+
+// TestCacheWithinRunDedup: identical geometries collapse to one engine call;
+// every copy carries the producer's exact bits.
+func TestCacheWithinRunDedup(t *testing.T) {
+	dec := cacheDecomposition(9)
+	for i := 1; i < len(dec.Fragments); i++ { // make all copies of fragment 0
+		dec.Fragments[i].Pos = dec.Fragments[0].Pos
+	}
+	var calls atomic.Int64
+	s := openStore(t, t.TempDir())
+	datas, rep, err := Run(dec, cacheOptions(t, s, false, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("%d engine calls for 9 identical fragments, want 1", calls.Load())
+	}
+	if rep.Deduped != 8 || rep.CacheMisses != 1 || rep.Resumed != 0 {
+		t.Fatalf("deduped=%d misses=%d resumed=%d; want 8/1/0", rep.Deduped, rep.CacheMisses, rep.Resumed)
+	}
+	for i, d := range datas {
+		if !d.BitEqual(datas[0]) {
+			t.Fatalf("fragment %d: deduped copy differs bitwise from the producer's result", i)
+		}
+	}
+}
+
+// TestCacheCrashResumeBitMatch is the tentpole property: kill a run via a
+// deterministic hard fault, resume into the same store, and the resumed
+// results must be bit-identical to an uninterrupted run's.
+func TestCacheCrashResumeBitMatch(t *testing.T) {
+	dec := cacheDecomposition(10)
+
+	// The uninterrupted reference run, in its own store.
+	refStore := openStore(t, t.TempDir())
+	ref, _, err := Run(dec, cacheOptions(t, refStore, false, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	crash := cacheOptions(t, s, false, nil)
+	crash.MaxFailedFragments = 0
+	crash.Injector = faults.NewInjector(faults.Config{Seed: 3, HardFailFrags: []int{7}})
+	if _, _, err := Run(dec, crash); err == nil {
+		t.Fatal("hard-failed run reported success")
+	}
+	s.Close()
+
+	s2 := openStore(t, dir)
+	datas, rep, err := Run(dec, cacheOptions(t, s2, true, nil))
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	checkExactlyOnce(t, dec, datas, rep)
+	if rep.Resumed == 0 {
+		t.Fatal("resume recomputed everything: no checkpointed fragment was served")
+	}
+	if rep.Resumed+rep.CacheMisses+rep.Deduped != 10 {
+		t.Fatalf("resumed=%d + misses=%d + deduped=%d != 10", rep.Resumed, rep.CacheMisses, rep.Deduped)
+	}
+	for i := range ref {
+		if !datas[i].BitEqual(ref[i]) {
+			t.Fatalf("fragment %d: resumed result differs bitwise from uninterrupted run", i)
+		}
+	}
+}
+
+// TestCacheKeyIsolation: records written under one JobOptions must never be
+// served to a run with different physics settings.
+func TestCacheKeyIsolation(t *testing.T) {
+	dec := cacheDecomposition(6)
+	dir := t.TempDir()
+
+	s := openStore(t, dir)
+	if _, _, err := Run(dec, cacheOptions(t, s, false, nil)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	mutations := map[string]func(*Options){
+		"Step":        func(o *Options) { o.Job.Step *= 2 },
+		"GridSpacing": func(o *Options) { o.Job.DFPT.GridSpacing *= 1.5 },
+	}
+	for name, mutate := range mutations {
+		s2 := openStore(t, dir)
+		var calls atomic.Int64
+		opt := cacheOptions(t, s2, true, &calls)
+		mutate(&opt)
+		_, rep, err := Run(dec, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.CacheHits != 0 || rep.Resumed != 0 {
+			t.Fatalf("%s: %d cross-hits (%d resumed) across changed job options, want 0",
+				name, rep.CacheHits, rep.Resumed)
+		}
+		if calls.Load() != 6 {
+			t.Fatalf("%s: engine ran %d times, want 6", name, calls.Load())
+		}
+		s2.Close()
+	}
+}
+
+// TestCacheIgnoresPriorWithoutResume: without -resume, prior-run records are
+// invisible; the run recomputes (and re-vouches) everything.
+func TestCacheIgnoresPriorWithoutResume(t *testing.T) {
+	dec := cacheDecomposition(5)
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	if _, _, err := Run(dec, cacheOptions(t, s, false, nil)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	var calls atomic.Int64
+	s2 := openStore(t, dir)
+	_, rep, err := Run(dec, cacheOptions(t, s2, false, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resumed != 0 || calls.Load() != 5 {
+		t.Fatalf("without Resume: resumed=%d, engine calls=%d; want 0/5", rep.Resumed, calls.Load())
+	}
+}
+
+// TestCacheCorruptRecordRequeued: a bit-flipped object must be detected,
+// counted, and transparently recomputed with the correct payload.
+func TestCacheCorruptRecordRequeued(t *testing.T) {
+	dec := cacheDecomposition(4)
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	if _, _, err := Run(dec, cacheOptions(t, s, false, nil)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Flip one bit in one object record.
+	var objects []string
+	filepath.Walk(filepath.Join(dir, "objects"), func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			objects = append(objects, path)
+		}
+		return nil
+	})
+	if len(objects) != 4 {
+		t.Fatalf("found %d objects, want 4", len(objects))
+	}
+	blob, err := os.ReadFile(objects[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0x04
+	if err := os.WriteFile(objects[2], blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir)
+	datas, rep, err := Run(dec, cacheOptions(t, s2, true, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExactlyOnce(t, dec, datas, rep)
+	if rep.StoreErrors == 0 {
+		t.Fatal("corrupt record was not counted as a store error")
+	}
+	if rep.CacheMisses != 1 || rep.Resumed != 3 {
+		t.Fatalf("misses=%d resumed=%d; want 1 recomputed, 3 resumed", rep.CacheMisses, rep.Resumed)
+	}
+}
+
+// TestCacheReadOnlyStore: with checkpointing disabled nothing is written,
+// every fragment computes itself (no producer to wait on after completion —
+// the recheck path), and the run still terminates exactly-once.
+func TestCacheReadOnlyStore(t *testing.T) {
+	dec := cacheDecomposition(8)
+	for i := 1; i < 4; i++ { // a dedup class that can never be served
+		dec.Fragments[i].Pos = dec.Fragments[0].Pos
+	}
+	var calls atomic.Int64
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	opt := cacheOptions(t, s, false, &calls)
+	opt.Cache.ReadOnly = true
+	datas, rep, err := Run(dec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExactlyOnce(t, dec, datas, rep)
+	if calls.Load() != 8 {
+		t.Fatalf("read-only run made %d engine calls, want 8 (no serving possible)", calls.Load())
+	}
+	if s.Len() != 0 {
+		t.Fatalf("read-only run wrote %d objects", s.Len())
+	}
+	if rep.CacheHits != 0 {
+		t.Fatalf("read-only run reported %d hits", rep.CacheHits)
+	}
+}
+
+// TestCacheProducerFailureTakeover: when a key's elected producer fails
+// permanently under a fail-soft budget, a waiting duplicate must inherit the
+// election and compute, so the class still completes.
+func TestCacheProducerFailureTakeover(t *testing.T) {
+	dec := cacheDecomposition(6)
+	dec.Fragments[3].Pos = dec.Fragments[0].Pos // fragment 0 produces for both
+	opt := cacheOptions(t, openStore(t, t.TempDir()), false, nil)
+	opt.MaxFailedFragments = 1
+	opt.Injector = faults.NewInjector(faults.Config{Seed: 5, HardFailFrags: []int{0}})
+	datas, rep, err := Run(dec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failed) != 1 || rep.Failed[0] != 0 {
+		t.Fatalf("Failed = %v, want [0]", rep.Failed)
+	}
+	if datas[3] == nil || !datas[3].BitEqual(fakeData(3)) {
+		t.Fatal("fragment 3 did not take over production after its producer failed")
+	}
+}

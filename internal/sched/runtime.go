@@ -12,6 +12,7 @@ import (
 	"qframan/internal/fragment"
 	"qframan/internal/hessian"
 	"qframan/internal/scf"
+	"qframan/internal/store"
 )
 
 // Options configures the goroutine runtime.
@@ -49,6 +50,24 @@ type Options struct {
 	// displacement fan-out). Tests and custom engines use it; nil selects
 	// the built-in SCF+DFPT pipeline.
 	Process func(f *fragment.Fragment, opt Options) (*hessian.FragmentData, error)
+	// Cache wires the persistent fragment-result store into the runtime:
+	// content-addressed lookup before dispatch, checkpoint writes on
+	// completion, and deterministic within-run dedup of identical
+	// fragments.
+	Cache CacheOptions
+}
+
+// CacheOptions configures the runtime's use of a checkpoint store.
+type CacheOptions struct {
+	// Store is the open store; nil disables caching entirely.
+	Store *store.Store
+	// Resume serves results recorded by *previous* runs. Without it the
+	// store still checkpoints completions and dedupes identical fragments
+	// within this run, but pre-existing records are ignored (and
+	// re-verified by overwriting them when their fragments recompute).
+	Resume bool
+	// ReadOnly disables checkpoint writes (lookup-only cache).
+	ReadOnly bool
 }
 
 // DefaultOptions sizes the runtime for functional (single-machine) runs.
@@ -90,6 +109,19 @@ type Report struct {
 	// Degraded is true when Failed is non-empty: the run completed but the
 	// spectrum omits the failed fragments' contributions.
 	Degraded bool
+	// CacheHits counts fragments served from the store without computing:
+	// Resumed of them from records a previous run wrote, Deduped of them
+	// from records another fragment of this run wrote (identical geometry
+	// under the content-addressed key). CacheHits == Resumed + Deduped.
+	CacheHits int
+	// CacheMisses counts fragments that went through the engine.
+	CacheMisses int
+	Resumed     int
+	Deduped     int
+	// StoreErrors counts store operations (lookups, checkpoints) that
+	// failed — including CRC-corrupt records, which are evicted and
+	// recomputed. Store failures degrade to recomputation, never abort.
+	StoreErrors int
 }
 
 // fragment lifecycle states tracked by the master.
@@ -111,6 +143,10 @@ type retryEntry struct {
 // elsewhere).
 const waitTick = time.Millisecond
 
+// dedupWaitTick is the requeue delay of a fragment waiting for its key's
+// elected producer to finish computing their shared result.
+const dedupWaitTick = 2 * time.Millisecond
+
 // Run executes the displacement loops of all fragments on the three-level
 // runtime and returns per-fragment data in decomposition order. With a
 // fail-soft budget (Options.MaxFailedFragments > 0) the returned slice may
@@ -129,6 +165,28 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 	process := opt.Process
 	if process == nil {
 		process = leaderProcessFragment
+	}
+
+	// With a store attached, fingerprint every fragment up front and elect
+	// one deterministic producer per content key — the lowest fragment
+	// index. Only producers compute; every other fragment of a key class
+	// waits and is served the producer's checkpointed result, rotated into
+	// its own frame. Electing by index (rather than first-to-arrive) makes
+	// results independent of goroutine scheduling, which is what lets a
+	// resumed run bit-match an uninterrupted one.
+	cacheOn := opt.Cache.Store != nil
+	var keys []store.Key
+	var frames []store.Frame
+	producer := make(map[store.Key]int)
+	if cacheOn {
+		keys = make([]store.Key, nf)
+		frames = make([]store.Frame, nf)
+		for i := range dec.Fragments {
+			keys[i], frames[i] = store.Fingerprint(&dec.Fragments[i], opt.Job)
+			if _, ok := producer[keys[i]]; !ok {
+				producer[keys[i]] = i
+			}
+		}
 	}
 
 	// The master hands out tasks through a mutex-guarded packer: this is
@@ -219,6 +277,63 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 		results[fi] = data
 		resolved++
 		return true
+	}
+	// unmark releases a claim taken by markProcessing without recording an
+	// attempt — used by fragments that must wait for their key's producer.
+	// The attempt counter is rolled back so waiting never consumes retry
+	// budget.
+	unmark := func(fi, attempt int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if state[fi] == stateProcessing && attempts[fi] == attempt {
+			state[fi] = statePending
+			attempts[fi]--
+			retryQ = append(retryQ, retryEntry{fi: fi, readyAt: time.Now().Add(dedupWaitTick)})
+		}
+	}
+	// election verdicts for a fragment whose store lookup missed.
+	const (
+		produceNow = iota
+		produceWait
+		produceRecheck
+	)
+	// elect decides whether fi should run the engine for its key after a
+	// lookup miss. The elected producer (and any fragment inheriting from
+	// a permanently failed one) computes. A fragment whose producer is
+	// still in flight waits. A fragment whose producer completed re-checks
+	// the store once — the checkpoint lands before completion, so the
+	// re-check hits unless writes are disabled or failed, and only then
+	// does the fragment compute for itself.
+	elect := func(fi int) int {
+		mu.Lock()
+		defer mu.Unlock()
+		p := producer[keys[fi]]
+		switch {
+		case p == fi:
+			return produceNow
+		case state[p] == stateFailed:
+			producer[keys[fi]] = fi
+			return produceNow
+		case state[p] == stateDone:
+			return produceRecheck
+		}
+		return produceWait
+	}
+	// lookup serves a fragment from the store if an eligible record
+	// exists; prior-run records require Resume. Store errors (corrupt or
+	// unreadable records) degrade to a miss and are counted.
+	lookup := func(fi int) (*hessian.FragmentData, bool) {
+		fd, prior, err := opt.Cache.Store.Get(keys[fi], frames[fi])
+		if err != nil {
+			mu.Lock()
+			report.StoreErrors++
+			mu.Unlock()
+			return nil, false
+		}
+		if fd == nil || (prior && !opt.Cache.Resume) {
+			return nil, false
+		}
+		return fd, prior
 	}
 	// restore returns undispatched fragments (a prefetched task, or the
 	// unprocessed remainder of the current task) to the pool when a leader
@@ -368,17 +483,67 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 					if !ok {
 						continue // completed elsewhere meanwhile
 					}
-					data, err := attemptFragment(fi, attempt)
-					if err != nil {
-						if !fail(fi, attempt, err) {
-							restore(task.Fragments[i+1:])
-							return
+					var data *hessian.FragmentData
+					served, servedPrior := false, false
+					if cacheOn {
+						fd, prior := lookup(fi)
+						if fd == nil {
+							switch elect(fi) {
+							case produceWait:
+								unmark(fi, attempt) // wait for the key's producer
+								continue
+							case produceRecheck:
+								// Producer completed after our miss; its
+								// checkpoint (if writes are on) landed
+								// before completion, so look again.
+								fd, prior = lookup(fi)
+							}
 						}
-						continue
+						if fd != nil {
+							data, served, servedPrior = fd, true, prior
+						}
+					}
+					if data == nil {
+						var err error
+						data, err = attemptFragment(fi, attempt)
+						if err != nil {
+							if !fail(fi, attempt, err) {
+								restore(task.Fragments[i+1:])
+								return
+							}
+							continue
+						}
+						if cacheOn && !opt.Cache.ReadOnly {
+							// Checkpoint, and serve the canonical roundtrip
+							// so computed and cache-served completions are
+							// bit-identical. A failed checkpoint degrades
+							// to keeping the in-memory result.
+							if rt, perr := opt.Cache.Store.Put(keys[fi], frames[fi], data); perr != nil {
+								mu.Lock()
+								report.StoreErrors++
+								mu.Unlock()
+							} else {
+								data = rt
+							}
+						}
 					}
 					if complete(fi, data) {
 						stats.Fragments++
 						stats.Displacements += 6 * dec.Fragments[fi].NumAtoms()
+						if cacheOn {
+							mu.Lock()
+							if served {
+								report.CacheHits++
+								if servedPrior {
+									report.Resumed++
+								} else {
+									report.Deduped++
+								}
+							} else {
+								report.CacheMisses++
+							}
+							mu.Unlock()
+						}
 					}
 				}
 				stats.Tasks++

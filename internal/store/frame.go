@@ -1,0 +1,265 @@
+package store
+
+import (
+	"fmt"
+
+	"qframan/internal/geom"
+	"qframan/internal/hessian"
+	"qframan/internal/linalg"
+)
+
+// Frame is the rigid motion that carries a fragment's geometry into its
+// canonical pose: x' = R·(x − C). Records are stored in the canonical
+// frame, which is what lets every rigid copy of a water molecule — the
+// paper's solvent boxes are built from randomly *oriented* rigid waters —
+// share one record: the key is computed from canonical coordinates, and the
+// stored tensors are rotated back into each fragment's own frame on
+// retrieval.
+type Frame struct {
+	// R rotates fragment coordinates into the canonical frame (row-major,
+	// orthonormal, det +1 — mirror images get distinct canonical poses and
+	// therefore distinct keys).
+	R [3][3]float64
+	// C is the fragment centroid (Å).
+	C geom.Vec3
+	// Rotate is false when no well-defined canonical orientation exists
+	// (single atoms, collinear geometries) or when the job applies an
+	// external field that breaks rotational isotropy; the frame then
+	// canonicalizes translation only and R is ignored.
+	Rotate bool
+	// NAtoms is the fragment's atom count (including cap hydrogens),
+	// recorded in the manifest for the store's size histogram.
+	NAtoms int
+}
+
+// frameEps is the degeneracy threshold (Å) below which an atom displacement
+// is too small to define a frame axis. Coordinates are Å-scale and their
+// rigid-motion noise is ~1e-15, so 1e-6 separates the two regimes safely.
+const frameEps = 1e-6
+
+// frameFor builds the canonical frame of a geometry: origin at the
+// centroid, first axis toward the first atom off the centroid, second axis
+// toward the first atom off that line, third completing a right-handed
+// basis. Identically ordered rigid copies — fragments are always extracted
+// in a deterministic atom order — therefore agree on the frame to within
+// floating-point noise, which the key quantization absorbs.
+func frameFor(pos []geom.Vec3) Frame {
+	fr := Frame{NAtoms: len(pos)}
+	if len(pos) == 0 {
+		return fr
+	}
+	var c geom.Vec3
+	for _, p := range pos {
+		c = c.Add(p)
+	}
+	fr.C = c.Scale(1 / float64(len(pos)))
+
+	var e1 geom.Vec3
+	found := false
+	for _, p := range pos {
+		d := p.Sub(fr.C)
+		if d.Norm() > frameEps {
+			e1 = d.Normalize()
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fr // all atoms at the centroid: translation-only
+	}
+	var e2 geom.Vec3
+	found = false
+	for _, p := range pos {
+		d := p.Sub(fr.C)
+		perp := d.Sub(e1.Scale(e1.Dot(d)))
+		if perp.Norm() > frameEps {
+			e2 = perp.Normalize()
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fr // collinear: no rotation-canonical pose, translation-only
+	}
+	e3 := e1.Cross(e2)
+	fr.R = [3][3]float64{
+		{e1.X, e1.Y, e1.Z},
+		{e2.X, e2.Y, e2.Z},
+		{e3.X, e3.Y, e3.Z},
+	}
+	fr.Rotate = true
+	return fr
+}
+
+// Apply maps a fragment-frame point into the canonical frame.
+func (fr Frame) Apply(p geom.Vec3) geom.Vec3 {
+	d := p.Sub(fr.C)
+	if !fr.Rotate {
+		return d
+	}
+	return geom.Vec3{
+		X: fr.R[0][0]*d.X + fr.R[0][1]*d.Y + fr.R[0][2]*d.Z,
+		Y: fr.R[1][0]*d.X + fr.R[1][1]*d.Y + fr.R[1][2]*d.Z,
+		Z: fr.R[2][0]*d.X + fr.R[2][1]*d.Y + fr.R[2][2]*d.Z,
+	}
+}
+
+// ToCanonical rotates fragment-frame result tensors into the canonical
+// frame for storage. Translation never enters: every stored quantity is a
+// derivative, invariant under rigid translation.
+func (fr Frame) ToCanonical(fd *hessian.FragmentData) (*hessian.FragmentData, error) {
+	if !fr.Rotate {
+		return fd, nil
+	}
+	return rotateData(fd, fr.R)
+}
+
+// FromCanonical rotates stored canonical-frame tensors back into the
+// fragment's own frame.
+func (fr Frame) FromCanonical(fd *hessian.FragmentData) (*hessian.FragmentData, error) {
+	if !fr.Rotate {
+		return fd, nil
+	}
+	return rotateData(fd, transpose(fr.R))
+}
+
+func transpose(r [3][3]float64) [3][3]float64 {
+	return [3][3]float64{
+		{r[0][0], r[1][0], r[2][0]},
+		{r[0][1], r[1][1], r[2][1]},
+		{r[0][2], r[1][2], r[2][2]},
+	}
+}
+
+// rotateData returns fd expressed in a frame rotated by R (coordinates
+// transform as x' = R x). The Hessian conjugates blockwise (B' = R B Rᵀ),
+// the dipole derivatives contract R on both the dipole and coordinate
+// indices, and the polarizability derivatives — a symmetric rank-2 tensor
+// differentiated by a coordinate — contract R on all three indices.
+func rotateData(fd *hessian.FragmentData, R [3][3]float64) (*hessian.FragmentData, error) {
+	natoms, err := rotatableAtoms(fd)
+	if err != nil {
+		return nil, err
+	}
+	out := &hessian.FragmentData{}
+	if fd.Hess != nil {
+		out.Hess = linalg.NewMatrix(fd.Hess.Rows, fd.Hess.Cols)
+		var blk, tmp [3][3]float64
+		for a := 0; a < natoms; a++ {
+			for b := 0; b < natoms; b++ {
+				for i := 0; i < 3; i++ {
+					for j := 0; j < 3; j++ {
+						blk[i][j] = fd.Hess.At(3*a+i, 3*b+j)
+					}
+				}
+				// tmp = R·blk, blk' = tmp·Rᵀ.
+				for i := 0; i < 3; i++ {
+					for j := 0; j < 3; j++ {
+						tmp[i][j] = R[i][0]*blk[0][j] + R[i][1]*blk[1][j] + R[i][2]*blk[2][j]
+					}
+				}
+				for i := 0; i < 3; i++ {
+					for j := 0; j < 3; j++ {
+						out.Hess.Set(3*a+i, 3*b+j,
+							tmp[i][0]*R[j][0]+tmp[i][1]*R[j][1]+tmp[i][2]*R[j][2])
+					}
+				}
+			}
+		}
+	}
+	if fd.DDipole[0] != nil {
+		for k := range out.DDipole {
+			out.DDipole[k] = make([]float64, len(fd.DDipole[k]))
+		}
+		for a := 0; a < natoms; a++ {
+			var g, g2 [3][3]float64 // g[k][d] = ∂μ_k/∂x_{a,d}
+			for k := 0; k < 3; k++ {
+				for d := 0; d < 3; d++ {
+					g[k][d] = fd.DDipole[k][3*a+d]
+				}
+			}
+			for k := 0; k < 3; k++ {
+				for d := 0; d < 3; d++ {
+					var s float64
+					for kk := 0; kk < 3; kk++ {
+						for dd := 0; dd < 3; dd++ {
+							s += R[k][kk] * R[d][dd] * g[kk][dd]
+						}
+					}
+					g2[k][d] = s
+				}
+			}
+			for k := 0; k < 3; k++ {
+				for d := 0; d < 3; d++ {
+					out.DDipole[k][3*a+d] = g2[k][d]
+				}
+			}
+		}
+	}
+	if fd.DAlpha[0] != nil {
+		for c := range out.DAlpha {
+			out.DAlpha[c] = make([]float64, len(fd.DAlpha[c]))
+		}
+		for a := 0; a < natoms; a++ {
+			// G[i][j][d] = ∂α_ij/∂x_{a,d}, symmetric in (i,j).
+			var G, G2 [3][3][3]float64
+			for c, ij := range hessian.AlphaComponents {
+				for d := 0; d < 3; d++ {
+					v := fd.DAlpha[c][3*a+d]
+					G[ij[0]][ij[1]][d] = v
+					G[ij[1]][ij[0]][d] = v
+				}
+			}
+			for i := 0; i < 3; i++ {
+				for j := 0; j < 3; j++ {
+					for d := 0; d < 3; d++ {
+						var s float64
+						for ii := 0; ii < 3; ii++ {
+							for jj := 0; jj < 3; jj++ {
+								for dd := 0; dd < 3; dd++ {
+									s += R[i][ii] * R[j][jj] * R[d][dd] * G[ii][jj][dd]
+								}
+							}
+						}
+						G2[i][j][d] = s
+					}
+				}
+			}
+			for c, ij := range hessian.AlphaComponents {
+				for d := 0; d < 3; d++ {
+					out.DAlpha[c][3*a+d] = G2[ij[0]][ij[1]][d]
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// rotatableAtoms infers the atom count from the data's dimensions and
+// verifies every present block agrees — rotating mis-shaped data would
+// corrupt it silently.
+func rotatableAtoms(fd *hessian.FragmentData) (int, error) {
+	n3 := -1
+	if fd.Hess != nil {
+		if fd.Hess.Rows != fd.Hess.Cols {
+			return 0, fmt.Errorf("store: cannot rotate non-square %dx%d Hessian", fd.Hess.Rows, fd.Hess.Cols)
+		}
+		n3 = fd.Hess.Rows
+	}
+	if fd.DAlpha[0] != nil {
+		if n3 >= 0 && len(fd.DAlpha[0]) != n3 {
+			return 0, fmt.Errorf("store: DAlpha length %d disagrees with Hessian %d", len(fd.DAlpha[0]), n3)
+		}
+		n3 = len(fd.DAlpha[0])
+	}
+	if fd.DDipole[0] != nil {
+		if n3 >= 0 && len(fd.DDipole[0]) != n3 {
+			return 0, fmt.Errorf("store: DDipole length %d disagrees with other blocks %d", len(fd.DDipole[0]), n3)
+		}
+		n3 = len(fd.DDipole[0])
+	}
+	if n3 < 0 || n3%3 != 0 {
+		return 0, fmt.Errorf("store: data dimensions %d are not 3N", n3)
+	}
+	return n3 / 3, nil
+}

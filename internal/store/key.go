@@ -1,0 +1,119 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"qframan/internal/fragment"
+	"qframan/internal/geom"
+	"qframan/internal/hessian"
+)
+
+// Key is the content address of a fragment result: a SHA-256 of the
+// canonical fragment fingerprint. Two fragments share a key exactly when
+// the displacement loop is guaranteed to produce the same physics for both
+// (in the canonical frame): same species sequence, same rigid-motion-
+// canonicalized geometry to within the quantization tolerance, and the same
+// job options.
+type Key [sha256.Size]byte
+
+// String returns the key in hex — the form used in the manifest and for
+// object file names.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey parses the hex form produced by String.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(k) {
+		return k, fmt.Errorf("store: invalid key %q", s)
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// coordQuantum is the coordinate quantization (Å) of the fingerprint.
+// Rigid copies of one molecule agree in canonical coordinates to ~1e-15 Å,
+// so a 1e-6 Å grid merges them reliably while keeping genuinely different
+// geometries — displacement steps are 5e-3 bohr ≈ 2.6e-3 Å — far apart.
+const coordQuantum = 1e-6
+
+// fingerprintVersion is bumped whenever the fingerprint byte layout, the
+// canonicalization, or the codec changes incompatibly, so stale stores can
+// never cross-hit a new binary.
+const fingerprintVersion = "qfkey/v1/codec1\n"
+
+// Fingerprint computes the content-addressed key and canonical frame of a
+// fragment under the given job options. The fingerprint covers the physics
+// inputs only: species, canonicalized quantized coordinates (caps
+// included), and every solver setting that can change a converged result.
+// It deliberately excludes the fragment's identity (ID, Kind, Coeff,
+// GlobalIdx — assembly bookkeeping applied outside the stored data) and the
+// warm-start fields (InitDeltaQ, InitP1, Executor — starting points and
+// execution backends, which do not move a converged answer).
+//
+// A non-zero external SCF field breaks rotational isotropy, so the frame
+// then canonicalizes translation only: field runs never dedupe rotated
+// copies against each other.
+func Fingerprint(f *fragment.Fragment, opt hessian.JobOptions) (Key, Frame) {
+	fr := frameFor(f.Pos)
+	if opt.SCF.Field != (geom.Vec3{}) {
+		fr.Rotate = false
+	}
+	h := sha256.New()
+	buf := make([]byte, 0, 64+len(f.Els)+24*len(f.Pos))
+	buf = append(buf, fingerprintVersion...)
+	buf = appendU32(buf, uint32(len(f.Els)))
+	for _, el := range f.Els {
+		buf = append(buf, byte(el))
+	}
+	for _, p := range f.Pos {
+		q := fr.Apply(p)
+		buf = appendU64(buf, uint64(quantize(q.X)))
+		buf = appendU64(buf, uint64(quantize(q.Y)))
+		buf = appendU64(buf, uint64(quantize(q.Z)))
+	}
+	h.Write(buf)
+	h.Write(jobFingerprint(opt))
+	var k Key
+	h.Sum(k[:0])
+	return k, fr
+}
+
+// quantize snaps a coordinate to the fingerprint grid.
+func quantize(x float64) int64 { return int64(math.Round(x / coordQuantum)) }
+
+// jobFingerprint serializes every physics-relevant JobOptions field with
+// exact float bit patterns. Field order is part of the format; extending
+// JobOptions with a new physics knob must append it here and bump
+// fingerprintVersion.
+func jobFingerprint(opt hessian.JobOptions) []byte {
+	b := make([]byte, 0, 160)
+	b = appendU64(b, math.Float64bits(opt.Step))
+	b = appendBool(b, opt.SkipAlpha)
+	b = appendU64(b, uint64(opt.SCF.MaxIter))
+	b = appendU64(b, math.Float64bits(opt.SCF.Tol))
+	b = appendU64(b, math.Float64bits(opt.SCF.Mixing))
+	b = appendU64(b, math.Float64bits(opt.SCF.Smearing))
+	b = appendU64(b, math.Float64bits(opt.SCF.Field.X))
+	b = appendU64(b, math.Float64bits(opt.SCF.Field.Y))
+	b = appendU64(b, math.Float64bits(opt.SCF.Field.Z))
+	b = appendU64(b, uint64(opt.DFPT.MaxIter))
+	b = appendU64(b, math.Float64bits(opt.DFPT.Tol))
+	b = appendU64(b, math.Float64bits(opt.DFPT.Mixing))
+	b = appendU64(b, uint64(opt.DFPT.Coulomb))
+	b = appendU64(b, math.Float64bits(opt.DFPT.GridSpacing))
+	b = appendU64(b, math.Float64bits(opt.DFPT.GridMargin))
+	b = appendU64(b, uint64(opt.DFPT.BatchSide))
+	b = appendBool(b, opt.DFPT.StrengthReduction)
+	return b
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}

@@ -1,0 +1,195 @@
+package store
+
+import (
+	"math"
+	"testing"
+
+	"qframan/internal/constants"
+	"qframan/internal/fragment"
+	"qframan/internal/geom"
+	"qframan/internal/hessian"
+)
+
+// waterFragment is a bent 3-atom water in an arbitrary pose.
+func waterFragment() *fragment.Fragment {
+	return &fragment.Fragment{
+		ID:   7,
+		Els:  []constants.Element{constants.O, constants.H, constants.H},
+		Pos:  []geom.Vec3{{X: 0.1, Y: -0.2, Z: 0.3}, {X: 1.06, Y: -0.2, Z: 0.3}, {X: -0.14, Y: 0.73, Z: 0.3}},
+		Kind: fragment.KindWater,
+	}
+}
+
+// chiralFragment is a 4-atom geometry with no mirror symmetry.
+func chiralFragment() *fragment.Fragment {
+	return &fragment.Fragment{
+		Els: []constants.Element{constants.C, constants.H, constants.N, constants.O},
+		Pos: []geom.Vec3{{}, {X: 1.1}, {Y: 1.3}, {X: 0.2, Y: 0.4, Z: 1.5}},
+	}
+}
+
+func translated(f *fragment.Fragment, d geom.Vec3) *fragment.Fragment {
+	g := *f
+	g.Pos = make([]geom.Vec3, len(f.Pos))
+	for i, p := range f.Pos {
+		g.Pos[i] = p.Add(d)
+	}
+	return &g
+}
+
+func rotated(f *fragment.Fragment, o, axis geom.Vec3, theta float64) *fragment.Fragment {
+	g := *f
+	g.Pos = make([]geom.Vec3, len(f.Pos))
+	for i, p := range f.Pos {
+		g.Pos[i] = geom.RotateAbout(p, o, axis, theta)
+	}
+	return &g
+}
+
+func mirrored(f *fragment.Fragment) *fragment.Fragment {
+	g := *f
+	g.Pos = make([]geom.Vec3, len(f.Pos))
+	for i, p := range f.Pos {
+		g.Pos[i] = geom.Vec3{X: p.X, Y: p.Y, Z: -p.Z}
+	}
+	return &g
+}
+
+// TestKeyRigidMotionInvariance is the dedup property: rigid copies of one
+// molecule — the paper's randomly oriented box waters — share one key.
+func TestKeyRigidMotionInvariance(t *testing.T) {
+	f := waterFragment()
+	opt := hessian.DefaultJobOptions()
+	k0, fr0 := Fingerprint(f, opt)
+	if !fr0.Rotate {
+		t.Fatal("bent water should get a rotation-canonical frame")
+	}
+	if k1, _ := Fingerprint(translated(f, geom.Vec3{X: 5.5, Y: -17, Z: 3.25}), opt); k1 != k0 {
+		t.Error("translation changed the key")
+	}
+	if k2, _ := Fingerprint(rotated(f, geom.Vec3{X: 1, Y: 2, Z: 3}, geom.Vec3{X: 1, Y: 1, Z: -2}, 1.1), opt); k2 != k0 {
+		t.Error("rotation changed the key")
+	}
+	combo := rotated(translated(f, geom.Vec3{X: -8, Z: 2}), geom.Vec3{}, geom.Vec3{Y: 1}, 2.7)
+	if k3, _ := Fingerprint(combo, opt); k3 != k0 {
+		t.Error("combined rigid motion changed the key")
+	}
+	// Fragment bookkeeping never enters the fingerprint.
+	g := *f
+	g.ID, g.Coeff, g.Kind = 99, -1, fragment.KindMonoWW
+	if k4, _ := Fingerprint(&g, opt); k4 != k0 {
+		t.Error("fragment identity (ID/Coeff/Kind) changed the key")
+	}
+}
+
+// TestKeyDiscriminates: anything that changes the physics must change the
+// key — geometry beyond the quantum, species, chirality, and every solver
+// knob. A cross-hit here would serve wrong data silently.
+func TestKeyDiscriminates(t *testing.T) {
+	f := waterFragment()
+	opt := hessian.DefaultJobOptions()
+	k0, _ := Fingerprint(f, opt)
+
+	stretched := translated(f, geom.Vec3{})
+	stretched.Pos[1].X += 1e-3 // ≈ half a displacement step: a real geometry change
+	if k, _ := Fingerprint(stretched, opt); k == k0 {
+		t.Error("stretched geometry kept the key")
+	}
+	heavy := translated(f, geom.Vec3{})
+	heavy.Els = []constants.Element{constants.S, constants.H, constants.H}
+	if k, _ := Fingerprint(heavy, opt); k == k0 {
+		t.Error("species change kept the key")
+	}
+
+	c := chiralFragment()
+	kc, _ := Fingerprint(c, opt)
+	if km, _ := Fingerprint(mirrored(c), opt); km == kc {
+		t.Error("mirror image of a chiral fragment kept the key")
+	}
+
+	// Every physics knob of JobOptions must move the key (key-isolation:
+	// a store populated at one setting never serves another).
+	knobs := map[string]func(*hessian.JobOptions){
+		"Step":              func(o *hessian.JobOptions) { o.Step *= 2 },
+		"SkipAlpha":         func(o *hessian.JobOptions) { o.SkipAlpha = !o.SkipAlpha },
+		"SCF.Tol":           func(o *hessian.JobOptions) { o.SCF.Tol *= 10 },
+		"SCF.MaxIter":       func(o *hessian.JobOptions) { o.SCF.MaxIter++ },
+		"SCF.Mixing":        func(o *hessian.JobOptions) { o.SCF.Mixing += 0.01 },
+		"SCF.Smearing":      func(o *hessian.JobOptions) { o.SCF.Smearing += 0.001 },
+		"SCF.Field":         func(o *hessian.JobOptions) { o.SCF.Field.Z = 1e-4 },
+		"DFPT.Tol":          func(o *hessian.JobOptions) { o.DFPT.Tol *= 10 },
+		"DFPT.MaxIter":      func(o *hessian.JobOptions) { o.DFPT.MaxIter++ },
+		"DFPT.Mixing":       func(o *hessian.JobOptions) { o.DFPT.Mixing += 0.01 },
+		"DFPT.Coulomb":      func(o *hessian.JobOptions) { o.DFPT.Coulomb++ },
+		"DFPT.GridSpacing":  func(o *hessian.JobOptions) { o.DFPT.GridSpacing *= 1.5 },
+		"DFPT.GridMargin":   func(o *hessian.JobOptions) { o.DFPT.GridMargin += 0.5 },
+		"DFPT.BatchSide":    func(o *hessian.JobOptions) { o.DFPT.BatchSide++ },
+		"DFPT.StrengthRed.": func(o *hessian.JobOptions) { o.DFPT.StrengthReduction = !o.DFPT.StrengthReduction },
+	}
+	for name, mutate := range knobs {
+		o := hessian.DefaultJobOptions()
+		mutate(&o)
+		if k, _ := Fingerprint(f, o); k == k0 {
+			t.Errorf("JobOptions knob %s kept the key", name)
+		}
+	}
+}
+
+// TestKeyFieldDisablesRotation: an external field breaks isotropy, so
+// rotated copies must stop sharing keys (translation dedup still works).
+func TestKeyFieldDisablesRotation(t *testing.T) {
+	f := waterFragment()
+	opt := hessian.DefaultJobOptions()
+	opt.SCF.Field = geom.Vec3{Z: 1e-4}
+	k0, fr := Fingerprint(f, opt)
+	if fr.Rotate {
+		t.Fatal("field run kept a rotation-canonical frame")
+	}
+	if k, _ := Fingerprint(rotated(f, geom.Vec3{}, geom.Vec3{X: 1}, math.Pi/3), opt); k == k0 {
+		t.Error("rotated copy kept the key under an external field")
+	}
+	if k, _ := Fingerprint(translated(f, geom.Vec3{X: 4}), opt); k != k0 {
+		t.Error("translated copy lost the key under an external field")
+	}
+}
+
+// TestKeyDegenerateGeometries: single atoms and collinear chains have no
+// canonical orientation; they still fingerprint (translation-only) and
+// distinct chains stay distinct.
+func TestKeyDegenerateGeometries(t *testing.T) {
+	single := &fragment.Fragment{Els: []constants.Element{constants.O}, Pos: []geom.Vec3{{X: 3}}}
+	k1, fr1 := Fingerprint(single, hessian.DefaultJobOptions())
+	if fr1.Rotate {
+		t.Fatal("single atom got a rotation frame")
+	}
+	k2, _ := Fingerprint(translated(single, geom.Vec3{Y: 9}), hessian.DefaultJobOptions())
+	if k1 != k2 {
+		t.Error("translated single atom lost the key")
+	}
+	chain := &fragment.Fragment{
+		Els: []constants.Element{constants.H, constants.H, constants.H},
+		Pos: []geom.Vec3{{}, {X: 1}, {X: 2}},
+	}
+	longer := &fragment.Fragment{
+		Els: []constants.Element{constants.H, constants.H, constants.H},
+		Pos: []geom.Vec3{{}, {X: 1}, {X: 2.5}},
+	}
+	kc, frc := Fingerprint(chain, hessian.DefaultJobOptions())
+	if frc.Rotate {
+		t.Fatal("collinear chain got a rotation frame")
+	}
+	if kl, _ := Fingerprint(longer, hessian.DefaultJobOptions()); kl == kc {
+		t.Error("different collinear chains share a key")
+	}
+}
+
+func TestKeyStringRoundtrip(t *testing.T) {
+	k, _ := Fingerprint(waterFragment(), hessian.DefaultJobOptions())
+	back, err := ParseKey(k.String())
+	if err != nil || back != k {
+		t.Fatalf("ParseKey(String) = %v, %v; want original key", back, err)
+	}
+	if _, err := ParseKey("zz"); err == nil {
+		t.Fatal("ParseKey accepted garbage")
+	}
+}

@@ -1,0 +1,367 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"qframan/internal/hessian"
+)
+
+// Store is the on-disk checkpoint/cache. Layout:
+//
+//	<dir>/manifest.log        append-only write-ahead manifest
+//	<dir>/objects/<xx>/<key>  CRC-guarded records, content-addressed by Key
+//
+// Crash-consistency argument: a `put` manifest line is appended *before*
+// the record is written, and the record itself lands via temp-file + fsync
+// + atomic rename. A crash therefore leaves one of three states, all safe:
+// (a) no line, no object — the fragment is simply recomputed; (b) a line
+// but a missing/short object — Open's replay validates each line against
+// the object and drops it, requeueing the fragment; (c) line and object —
+// the record is served after its CRC verifies on read. No state decodes
+// into wrong data, and the manifest is pure bookkeeping: a torn tail or a
+// lost line degrades to a recomputation, never to corruption.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex
+	manifest *os.File
+	idx      map[Key]*entry
+	logical  int // put+ref manifest records across all runs
+}
+
+// entry is the in-memory index of one object.
+type entry struct {
+	natoms int
+	bytes  int64
+	// prior marks objects that existed when the store was opened — the
+	// currency of -resume accounting.
+	prior bool
+	// fresh marks objects written (or overwritten) by this process, whose
+	// bytes this run has vouched for.
+	fresh bool
+	refs  int
+}
+
+const (
+	manifestName   = "manifest.log"
+	manifestHeader = "qfstore v1"
+	objectsDir     = "objects"
+)
+
+// Open opens (creating if needed) a store rooted at dir and replays its
+// manifest: every `put` line is validated against the object file (present
+// and size-exact — full CRC validation happens on each Get, before any
+// byte is trusted); lines that fail validation are dropped so their
+// fragments requeue. A torn final line — the signature of a mid-append
+// crash — ends the replay without error.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, objectsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, idx: make(map[Key]*entry)}
+	if err := s.replay(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, manifestName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.manifest = f
+	if st, err := f.Stat(); err == nil && st.Size() == 0 {
+		fmt.Fprintln(f, manifestHeader)
+	}
+	return s, nil
+}
+
+// Close releases the manifest handle. Records already written stay valid.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.manifest == nil {
+		return nil
+	}
+	err := s.manifest.Close()
+	s.manifest = nil
+	return err
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) replay() error {
+	f, err := os.Open(filepath.Join(s.dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == manifestHeader || line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == "put" && len(fields) == 4:
+			k, err := ParseKey(fields[1])
+			if err != nil {
+				return nil // torn tail: stop replay, later lines are unreachable anyway
+			}
+			natoms, err1 := strconv.Atoi(fields[2])
+			size, err2 := strconv.ParseInt(fields[3], 10, 64)
+			if err1 != nil || err2 != nil {
+				return nil
+			}
+			s.logical++
+			st, err := os.Stat(s.objectPath(k))
+			if err != nil || st.Size() != size {
+				// WAL intent whose object write never completed (or was
+				// truncated): drop it — the fragment will requeue.
+				delete(s.idx, k)
+				continue
+			}
+			if e := s.idx[k]; e != nil {
+				e.natoms, e.bytes = natoms, size
+			} else {
+				s.idx[k] = &entry{natoms: natoms, bytes: size, prior: true}
+			}
+		case fields[0] == "ref" && len(fields) == 2:
+			k, err := ParseKey(fields[1])
+			if err != nil {
+				return nil
+			}
+			s.logical++
+			if e := s.idx[k]; e != nil {
+				e.refs++
+			}
+		default:
+			return nil // unknown or torn record: stop replay
+		}
+	}
+	return nil
+}
+
+func (s *Store) objectPath(k Key) string {
+	hexk := k.String()
+	return filepath.Join(s.dir, objectsDir, hexk[:2], hexk)
+}
+
+// appendLine writes one manifest record; callers hold s.mu.
+func (s *Store) appendLine(line string) error {
+	if s.manifest == nil {
+		return fmt.Errorf("store: closed")
+	}
+	_, err := fmt.Fprintln(s.manifest, line)
+	return err
+}
+
+// Put checkpoints a fragment result under its key: the data is rotated into
+// the canonical frame, encoded, logged to the manifest, and written with
+// temp-file + fsync + atomic rename. If another fragment of this run
+// already wrote the key (a within-run duplicate racing past the dedup
+// election), only a `ref` line is appended. The returned data is the
+// result as a subsequent Get would serve it — the canonical roundtrip of
+// the input — and callers should use it in place of the input so computed
+// and cache-served fragments are bit-identical.
+func (s *Store) Put(k Key, fr Frame, fd *hessian.FragmentData) (*hessian.FragmentData, error) {
+	canon, err := fr.ToCanonical(fd)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if e := s.idx[k]; e != nil && e.fresh {
+		e.refs++
+		s.logical++
+		err := s.appendLine("ref " + k.String())
+		s.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return fr.FromCanonical(canon)
+	}
+	s.mu.Unlock()
+
+	blob, err := Encode(canon)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.logical++
+	err = s.appendLine(fmt.Sprintf("put %s %d %d", k.String(), fr.NAtoms, len(blob)))
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.writeObject(k, blob); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	prior := false
+	if e := s.idx[k]; e != nil {
+		prior = e.prior
+	}
+	s.idx[k] = &entry{natoms: fr.NAtoms, bytes: int64(len(blob)), prior: prior, fresh: true}
+	s.mu.Unlock()
+	return fr.FromCanonical(canon)
+}
+
+// writeObject lands a record atomically: temp file in the objects tree,
+// fsync, rename. The rename is the commit point.
+func (s *Store) writeObject(k Key, blob []byte) error {
+	path := s.objectPath(k)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(blob); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Get serves a fragment result from the store, rotated into the caller's
+// frame. A clean miss returns (nil, false, nil). A record that fails CRC or
+// structural validation is evicted and reported as ErrCorrupt so the caller
+// requeues the fragment — corruption is never served. The prior flag
+// reports that the record was produced by an earlier run (and not
+// re-vouched by this one): resume accounting.
+func (s *Store) Get(k Key, fr Frame) (*hessian.FragmentData, bool, error) {
+	s.mu.Lock()
+	e, ok := s.idx[k]
+	var prior bool
+	if ok {
+		prior = e.prior && !e.fresh
+	}
+	s.mu.Unlock()
+
+	blob, err := os.ReadFile(s.objectPath(k))
+	if os.IsNotExist(err) {
+		if ok {
+			s.evict(k)
+		}
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	if !ok {
+		// The object exists but the manifest lost it (crash before the
+		// line was durable, or an external copy): adopt it as prior after
+		// it validates below, and repair the manifest.
+		prior = true
+	}
+	canon, err := Decode(blob)
+	if err != nil {
+		s.evict(k)
+		os.Remove(s.objectPath(k))
+		return nil, false, err
+	}
+	if !ok {
+		s.mu.Lock()
+		if _, again := s.idx[k]; !again {
+			s.idx[k] = &entry{natoms: fr.NAtoms, bytes: int64(len(blob)), prior: true}
+			s.logical++
+			s.appendLine(fmt.Sprintf("put %s %d %d", k.String(), fr.NAtoms, len(blob)))
+		}
+		s.mu.Unlock()
+	}
+	fd, err := fr.FromCanonical(canon)
+	if err != nil {
+		return nil, false, err
+	}
+	// Record the serve as a ref so the manifest tallies every logical
+	// result the store backed — the numerator of the dedup ratio.
+	// Best-effort bookkeeping: a failed append changes no data.
+	s.mu.Lock()
+	if s.manifest != nil {
+		s.logical++
+		if e := s.idx[k]; e != nil {
+			e.refs++
+		}
+		s.appendLine("ref " + k.String())
+	}
+	s.mu.Unlock()
+	return fd, prior, nil
+}
+
+func (s *Store) evict(k Key) {
+	s.mu.Lock()
+	delete(s.idx, k)
+	s.mu.Unlock()
+}
+
+// Len returns the number of valid objects currently indexed.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.idx)
+}
+
+// Stats summarizes store contents for tooling (qfstats -store).
+type Stats struct {
+	// Objects and Bytes count the physical content-addressed records.
+	Objects int
+	Bytes   int64
+	// Logical counts the results recorded across all runs (manifest put +
+	// ref lines): every fragment completion that was backed by the store.
+	Logical int
+	// DedupRatio is Logical/Objects — how many fragment results each
+	// stored record serves on average.
+	DedupRatio float64
+	// SizeHistogram counts objects by fragment atom count (caps included).
+	SizeHistogram map[int]int
+}
+
+// Stats computes the current store statistics.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Logical: s.logical, SizeHistogram: make(map[int]int)}
+	for _, e := range s.idx {
+		st.Objects++
+		st.Bytes += e.bytes
+		st.SizeHistogram[e.natoms]++
+	}
+	if st.Objects > 0 {
+		st.DedupRatio = float64(st.Logical) / float64(st.Objects)
+	}
+	return st
+}
+
+// SortedSizes returns the histogram's atom counts in ascending order, for
+// deterministic printing.
+func (st Stats) SortedSizes() []int {
+	sizes := make([]int, 0, len(st.SizeHistogram))
+	for n := range st.SizeHistogram {
+		sizes = append(sizes, n)
+	}
+	sort.Ints(sizes)
+	return sizes
+}
