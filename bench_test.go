@@ -15,11 +15,13 @@ package qframan_test
 
 import (
 	"testing"
+	"time"
 
 	"qframan/internal/accel"
 	"qframan/internal/core"
 	"qframan/internal/fragment"
 	"qframan/internal/geom"
+	"qframan/internal/obs"
 	"qframan/internal/perf"
 	"qframan/internal/raman"
 	"qframan/internal/sched"
@@ -465,4 +467,82 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// --------------------------------------------------------- Observability --
+
+// BenchmarkObsOverhead measures the full cost of instrumentation — span
+// tracer, metrics registry, and the per-fragment straggler ledger — on the
+// fixed-seed examples/waterbox workload (27 molecules, 195 fragments, same
+// Raman config as the example), whose µs-scale γ-mode cycles give the
+// worst span-to-work ratio. Compare the sub-benchmarks:
+//
+//	go test -run '^$' -bench ObsOverhead -benchtime 3x -count 3 .
+//
+// The acceptance bar is "on" within 3% of "off".
+func BenchmarkObsOverhead(b *testing.B) {
+	run := func(b *testing.B, instrument bool) {
+		sys := structure.BuildWaterBox(3, 3, 3, geom.Vec3{})
+		cfg := core.DefaultConfig()
+		cfg.Raman.FreqMin, cfg.Raman.FreqMax, cfg.Raman.FreqStep = 50, 4000, 5
+		cfg.Raman.Sigma = 20
+		cfg.Raman.LanczosK = 120
+		for i := 0; i < b.N; i++ {
+			if instrument {
+				// Raise the span cap past the run's demand: a truncated
+				// trace would understate the recording cost.
+				tr := obs.NewTracer()
+				tr.SetMaxSpans(16 << 20)
+				cfg.Sched.Obs = obs.NewScope(tr, obs.NewRegistry())
+			}
+			res, err := core.ComputeRaman(sys, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if instrument {
+				b.ReportMetric(float64(cfg.Sched.Obs.T.Len()), "spans")
+				if d := cfg.Sched.Obs.T.Dropped(); d > 0 {
+					b.Fatalf("tracer dropped %d spans; raise the cap", d)
+				}
+				if res.SchedReport.Stragglers == nil {
+					b.Fatal("instrumented run produced no straggler summary")
+				}
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+	// The paired variant interleaves uninstrumented and instrumented runs
+	// back-to-back within each iteration, so slow machine drift (thermal,
+	// noisy neighbors) cancels out of the reported overhead-pct metric.
+	// ns/op is the cost of one off+on pair.
+	b.Run("paired", func(b *testing.B) {
+		sys := structure.BuildWaterBox(3, 3, 3, geom.Vec3{})
+		cfg := core.DefaultConfig()
+		cfg.Raman.FreqMin, cfg.Raman.FreqMax, cfg.Raman.FreqStep = 50, 4000, 5
+		cfg.Raman.Sigma = 20
+		cfg.Raman.LanczosK = 120
+		var offNS, onNS int64
+		for i := 0; i < b.N; i++ {
+			cfg.Sched.Obs = obs.Scope{}
+			t0 := time.Now()
+			if _, err := core.ComputeRaman(sys, cfg); err != nil {
+				b.Fatal(err)
+			}
+			offNS += int64(time.Since(t0))
+
+			tr := obs.NewTracer()
+			tr.SetMaxSpans(16 << 20)
+			cfg.Sched.Obs = obs.NewScope(tr, obs.NewRegistry())
+			t1 := time.Now()
+			if _, err := core.ComputeRaman(sys, cfg); err != nil {
+				b.Fatal(err)
+			}
+			onNS += int64(time.Since(t1))
+			if d := tr.Dropped(); d > 0 {
+				b.Fatalf("tracer dropped %d spans; raise the cap", d)
+			}
+		}
+		b.ReportMetric(100*(float64(onNS)/float64(offNS)-1), "overhead-pct")
+	})
 }

@@ -13,12 +13,15 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"time"
 
 	"qframan/internal/core"
 	"qframan/internal/faults"
+	"qframan/internal/obs"
 	"qframan/internal/sched"
 	"qframan/internal/store"
 	"qframan/internal/structure"
@@ -55,13 +58,105 @@ func main() {
 	flag.StringVar(&cf.dir, "cache-dir", "", "content-addressed fragment-result store directory (enables checkpointing and within-run dedup)")
 	flag.BoolVar(&cf.resume, "resume", false, "serve fragment results checkpointed by previous runs of -cache-dir")
 	flag.BoolVar(&cf.checkpoint, "checkpoint", true, "write fragment results to -cache-dir as they complete")
+
+	var of obsFlags
+	flag.StringVar(&of.traceOut, "trace-out", "", "write a Chrome trace_event JSON of the run to this file (load in chrome://tracing or Perfetto; summarize with qfstats -trace)")
+	flag.StringVar(&of.metricsOut, "metrics-out", "", "write the final metrics snapshot (flat text) to this file; '-' for stderr")
+	flag.StringVar(&of.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if err := run(*in, *seq, *fold, *dimers, *waterBox, *solvate,
-		*fmin, *fmax, *fstep, *sigma, *k, *dense, *leaders, *workers, *out, *irOut, ft, cf); err != nil {
+		*fmin, *fmax, *fstep, *sigma, *k, *dense, *leaders, *workers, *out, *irOut, ft, cf, of); err != nil {
 		fmt.Fprintln(os.Stderr, "qframan:", err)
 		os.Exit(1)
 	}
+}
+
+// obsFlags bundles the observability knobs.
+type obsFlags struct {
+	traceOut   string
+	metricsOut string
+	pprofAddr  string
+}
+
+// obsSinks holds the live sinks behind the flags until the run finishes.
+type obsSinks struct {
+	tracer *obs.Tracer
+	reg    *obs.Registry
+	flags  obsFlags
+}
+
+// apply starts the pprof server (if requested), builds the tracer/registry,
+// and wires the scope into the scheduler config. A SIGUSR1 dumps the current
+// metrics snapshot to stderr at any point of a long run (unix only).
+func (of obsFlags) apply(cfg *core.Config) (*obsSinks, error) {
+	if of.pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(of.pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "qframan: pprof:", err)
+			}
+		}()
+	}
+	if of.traceOut == "" && of.metricsOut == "" {
+		return nil, nil
+	}
+	s := &obsSinks{reg: obs.NewRegistry(), flags: of}
+	if of.traceOut != "" {
+		s.tracer = obs.NewTracer()
+	}
+	cfg.Sched.Obs = obs.NewScope(s.tracer, s.reg)
+	notifyMetricsDump(func() {
+		fmt.Fprintln(os.Stderr, "qframan: SIGUSR1 metrics snapshot:")
+		s.reg.Snapshot().WriteText(os.Stderr)
+	})
+	return s, nil
+}
+
+// finish writes the trace and metrics files.
+func (s *obsSinks) finish() error {
+	if s == nil {
+		return nil
+	}
+	if s.flags.traceOut != "" {
+		f, err := os.Create(s.flags.traceOut)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(f)
+		if err := s.tracer.ExportChromeTrace(bw); err != nil {
+			f.Close()
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if d := s.tracer.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "trace: %d spans dropped by the capacity backstop\n", d)
+		}
+	}
+	if s.flags.metricsOut != "" {
+		w := os.Stderr
+		if s.flags.metricsOut != "-" {
+			f, err := os.Create(s.flags.metricsOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		bw := bufio.NewWriter(w)
+		if err := s.reg.Snapshot().WriteText(bw); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // cacheFlags bundles the checkpoint-store knobs.
@@ -139,7 +234,7 @@ func buildSystem(in, seq string, fold, dimers, waterBox int, solvate bool) (*str
 }
 
 func run(in, seq string, fold, dimers, waterBox int, solvate bool,
-	fmin, fmax, fstep, sigma float64, k int, dense bool, leaders, workers int, out, irOut string, ft faultFlags, cf cacheFlags) error {
+	fmin, fmax, fstep, sigma float64, k int, dense bool, leaders, workers int, out, irOut string, ft faultFlags, cf cacheFlags, of obsFlags) error {
 
 	sys, err := buildSystem(in, seq, fold, dimers, waterBox, solvate)
 	if err != nil {
@@ -163,6 +258,10 @@ func run(in, seq string, fold, dimers, waterBox int, solvate bool,
 	}
 	if cstore != nil {
 		defer cstore.Close()
+	}
+	sinks, err := of.apply(&cfg)
+	if err != nil {
+		return err
 	}
 
 	t0 := time.Now()
@@ -194,6 +293,14 @@ func run(in, seq string, fold, dimers, waterBox int, solvate bool,
 			fmt.Fprintf(os.Stderr, "DEGRADED RUN: fragments %v failed; their Eq. 1 terms are missing from the spectrum\n",
 				rep.Failed)
 		}
+	}
+	if sg := res.SchedReport.Stragglers; sg != nil {
+		if err := sg.WriteText(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if err := sinks.finish(); err != nil {
+		return err
 	}
 
 	w := os.Stdout

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package main
+
+// notifyMetricsDump is a no-op on platforms without SIGUSR1.
+func notifyMetricsDump(func()) {}

@@ -1,0 +1,21 @@
+//go:build unix
+
+package main
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// notifyMetricsDump invokes dump on every SIGUSR1, letting an operator poll
+// a long run's metrics without stopping it.
+func notifyMetricsDump(dump func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGUSR1)
+	go func() {
+		for range ch {
+			dump()
+		}
+	}()
+}

@@ -12,6 +12,11 @@
 // With -store <dir> the command instead inspects a qframan checkpoint store:
 // record count, bytes on disk, per-fragment-size histogram, and the dedup
 // ratio (logical fragment results served per stored record).
+//
+// With -trace <file.json> the command summarizes a Chrome trace written by
+// qframan -trace-out: per-DFPT-phase latency percentiles (p50/p95/p99), the
+// top-10 slowest fragments with their attempt/cycle/cache provenance, and a
+// flame-style aggregation by span path.
 package main
 
 import (
@@ -21,12 +26,14 @@ import (
 	"time"
 
 	"qframan/internal/fragment"
+	"qframan/internal/obs"
 	"qframan/internal/store"
 	"qframan/internal/structure"
 )
 
 func main() {
 	storeDir := flag.String("store", "", "inspect this qframan checkpoint store instead of computing system statistics")
+	traceIn := flag.String("trace", "", "summarize this Chrome trace JSON (as written by qframan -trace-out)")
 	residues := flag.Int("residues", 3180, "total residues across the trimer (paper: 3,180)")
 	chains := flag.Int("chains", 3, "number of chains (paper: trimer)")
 	fold := flag.Int("fold", 24, "serpentine fold period per chain")
@@ -35,6 +42,13 @@ func main() {
 	lambda := flag.Float64("lambda", 4.0, "two-body threshold λ in Å")
 	flag.Parse()
 
+	if *traceIn != "" {
+		if err := traceStats(*traceIn); err != nil {
+			fmt.Fprintln(os.Stderr, "qfstats:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *storeDir != "" {
 		if err := storeStats(*storeDir); err != nil {
 			fmt.Fprintln(os.Stderr, "qfstats:", err)
@@ -76,6 +90,30 @@ func main() {
 	fmt.Printf("  water–water pairs:  %12d   (%.2f per molecule; paper: 128,341,476 ≈ 3.80)\n",
 		pairs, float64(pairs)/float64(frags))
 	fmt.Printf("  elapsed: %v\n", time.Since(t0))
+}
+
+// traceStats prints the straggler analytics and flame summary of a Chrome
+// trace for qfstats -trace.
+func traceStats(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans, err := obs.ReadChromeTrace(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %s: %d spans\n\n", path, len(spans))
+	sum, err := obs.AnalyzeTrace(spans, 10)
+	if err != nil {
+		return err
+	}
+	if err := sum.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return obs.WriteFlame(os.Stdout, spans)
 }
 
 // storeStats prints the checkpoint-store summary for qfstats -store.

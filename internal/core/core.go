@@ -11,6 +11,7 @@ import (
 
 	"qframan/internal/fragment"
 	"qframan/internal/hessian"
+	"qframan/internal/obs"
 	"qframan/internal/raman"
 	"qframan/internal/sched"
 	"qframan/internal/structure"
@@ -53,7 +54,10 @@ type Result struct {
 
 // ComputeRaman runs the QF-RAMAN pipeline on a molecular system.
 func ComputeRaman(sys *structure.System, cfg Config) (*Result, error) {
+	sc := cfg.Sched.Obs
+	_, dspan := sc.Begin("decompose", "core", obs.A("atoms", int64(sys.NumAtoms())))
 	dec, err := fragment.Decompose(sys, cfg.Fragment)
+	dspan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: decompose: %w", err)
 	}
@@ -71,10 +75,13 @@ func ComputeRamanDecomposed(sys *structure.System, dec *fragment.Decomposition, 
 	if err != nil {
 		return nil, fmt.Errorf("core: fragment jobs: %w", err)
 	}
+	sc := cfg.Sched.Obs
 	// A degraded run (fail-soft budget consumed) completes with nil data at
 	// report.Failed; the assembly drops exactly those fragments' signed
 	// Eq. 1 terms and records them in Global.Dropped.
+	_, aspan := sc.Begin("assemble", "core", obs.A("fragments", int64(len(dec.Fragments))))
 	g, err := hessian.AssembleDegraded(dec, sys.Masses(), datas, !cfg.Sched.Job.SkipAlpha, report.Failed)
+	aspan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: assemble: %w", err)
 	}
@@ -82,23 +89,31 @@ func ComputeRamanDecomposed(sys *structure.System, dec *fragment.Decomposition, 
 	if cfg.Sched.Job.SkipAlpha {
 		return res, nil // Hessian-only run
 	}
+	solver := int64(0) // 0 = Lanczos/GAGQ, 1 = dense diagonalization
+	if cfg.UseDense {
+		solver = 1
+	}
+	_, sspan := sc.Begin("spectrum", "core", obs.A("dense", solver))
 	var spec *raman.Spectrum
 	if cfg.UseDense {
 		spec, err = raman.DenseSpectrum(g, cfg.Raman, cfg.RigidCutoff)
 	} else {
 		spec, err = raman.LanczosSpectrum(g, cfg.Raman)
 	}
+	sspan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: spectrum: %w", err)
 	}
 	res.Spectrum = spec
 	if cfg.IR {
+		_, ispan := sc.Begin("spectrum.ir", "core", obs.A("dense", solver))
 		var ir *raman.Spectrum
 		if cfg.UseDense {
 			ir, err = raman.DenseIRSpectrum(g, cfg.Raman, cfg.RigidCutoff)
 		} else {
 			ir, err = raman.LanczosIRSpectrum(g, cfg.Raman)
 		}
+		ispan.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: IR spectrum: %w", err)
 		}

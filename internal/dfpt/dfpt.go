@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"qframan/internal/linalg"
+	"qframan/internal/obs"
 	"qframan/internal/scf"
 )
 
@@ -64,6 +65,18 @@ type Options struct {
 	// geometry in the displacement loop). The matrices are copied, never
 	// written, so one set may be shared across concurrent workers.
 	InitP1 [3]*linalg.Matrix
+
+	// Obs carries the observability handles; each DFPT cycle then records a
+	// span with its four phase children (P⁽¹⁾, n⁽¹⁾, v⁽¹⁾, H⁽¹⁾) plus the
+	// per-phase histograms. Execution-only: excluded from the store's
+	// content fingerprint; the zero Scope disables instrumentation.
+	Obs obs.Scope
+
+	// cycBuf, when set, is a scratch buffer respond reuses for its cycle
+	// samples instead of allocating one per solve. Polarizability points it
+	// at a stack variable shared by its (sequential) direction and retry
+	// solves; it must never be shared across goroutines.
+	cycBuf *[]obs.CycleSample
 }
 
 // DefaultOptions returns settings adequate for fragment polarizabilities.
@@ -126,6 +139,12 @@ func Polarizability(m *scf.Model, ground *scf.Result, opt Options) (*Response, e
 		return nil, fmt.Errorf("dfpt: invalid options %+v", opt)
 	}
 	resp := &Response{}
+	sc, dfptSpan := opt.Obs.Begin("dfpt", "dfpt")
+	defer dfptSpan.End()
+	if opt.Obs.Enabled() {
+		var cycScratch []obs.CycleSample
+		opt.cycBuf = &cycScratch
+	}
 	var gridEnv *gridEnv
 	if opt.Coulomb == GridCoulomb {
 		var err error
@@ -135,6 +154,7 @@ func Polarizability(m *scf.Model, ground *scf.Result, opt Options) (*Response, e
 		}
 	}
 	for dir := 0; dir < 3; dir++ {
+		dirSc, dirSpan := sc.Begin("dfpt.dir", "dfpt", obs.A("dir", int64(dir)))
 		// Robustness ladder: small-gap fragments can oscillate in the
 		// response loop; halving the mixing is the standard remedy.
 		var p1 *linalg.Matrix
@@ -147,12 +167,14 @@ func Polarizability(m *scf.Model, ground *scf.Result, opt Options) (*Response, e
 			if o.MaxIter > 3*opt.MaxIter {
 				o.MaxIter = 3 * opt.MaxIter
 			}
+			o.Obs = dirSc
 			p1, cycles, err = respond(m, ground, dir, o, gridEnv, &resp.Metrics)
 			if err == nil {
 				resp.MixingUsed = o.Mixing
 				break
 			}
 		}
+		dirSpan.End(obs.A("cycles", int64(cycles)))
 		if err != nil {
 			return nil, fmt.Errorf("dfpt: direction %d: %w", dir, err)
 		}
@@ -182,22 +204,82 @@ func respond(m *scf.Model, ground *scf.Result, dir int, opt Options, env *gridEn
 		p1.CopyFrom(init)
 	}
 	h1 := linalg.NewMatrix(n, n)
+	obsOn := opt.Obs.Enabled()
+	var samples []obs.CycleSample
+	var base time.Time
+	if obsOn {
+		// Cycles are accumulated locally and flushed as one batch per
+		// solve: on µs-scale gamma cycles, per-cycle locking and histogram
+		// updates alone would cost several percent of the solve. Phase
+		// boundaries are marked as time.Since(base) offsets — a single
+		// monotonic clock read, roughly half the cost of time.Now.
+		base = time.Now()
+		if opt.cycBuf != nil {
+			samples = (*opt.cycBuf)[:0]
+		} else {
+			samples = make([]obs.CycleSample, 0, min(opt.MaxIter, 16))
+		}
+		defer func() {
+			opt.Obs.RecordDFPTCycles(base, samples)
+			if opt.cycBuf != nil {
+				// Hand the (possibly grown) buffer back for the next solve;
+				// RecordDFPTCycles copied the samples out synchronously.
+				*opt.cycBuf = samples
+			}
+		}()
+	}
 	for iter := 1; iter <= opt.MaxIter; iter++ {
+		var cycOff, hEndOff time.Duration
+		var durs [obs.NumPhases]time.Duration
 		// Response Hamiltonian: external + Coulomb response of current P1.
-		h1.CopyFrom(hExt)
 		switch opt.Coulomb {
 		case GammaCoulomb:
-			addGammaResponse(m, p1, h1)
+			if obsOn {
+				cycOff = time.Since(base)
+				durs[obs.PhaseN1], durs[obs.PhaseV1], durs[obs.PhaseH1], hEndOff =
+					gammaResponseTimed(m, p1, hExt, h1, met, base, cycOff)
+			} else {
+				h1.CopyFrom(hExt)
+				addGammaResponse(m, p1, h1)
+			}
 		case GridCoulomb:
+			if obsOn {
+				cycOff = time.Since(base)
+			}
+			h1.CopyFrom(hExt)
+			// The grid pipeline already times its three phases into met;
+			// per-cycle durations are the deltas across the call.
+			preN1, preV1, preH1 := met.TimeN1, met.TimeV1, met.TimeH1
 			if err := env.addGridResponse(m, p1, h1, dir, opt, met); err != nil {
 				return nil, iter, err
 			}
+			durs[obs.PhaseN1] = met.TimeN1 - preN1
+			durs[obs.PhaseV1] = met.TimeV1 - preV1
+			durs[obs.PhaseH1] = met.TimeH1 - preH1
+			if obsOn {
+				hEndOff = time.Since(base)
+			}
 		}
 
-		// Phase 1: response density matrix by sum over states.
-		t0 := time.Now()
+		// Phase 1: response density matrix by sum over states. When
+		// instrumented, the H1 boundary read doubles as the P1 start.
+		var t0 time.Time
+		if !obsOn {
+			t0 = time.Now()
+		}
 		newP1 := responseDensity(m, ground, h1, ground.Sigma)
-		met.TimeP1 += time.Since(t0)
+		var dP1, cycTotal time.Duration
+		if obsOn {
+			endOff := time.Since(base)
+			dP1 = endOff - hEndOff
+			durs[obs.PhaseP1] = dP1
+			// The cycle span ends at the last phase boundary: mixing and
+			// the convergence test stay outside, so phases tile the cycle.
+			cycTotal = endOff - cycOff
+		} else {
+			dP1 = time.Since(t0)
+		}
+		met.TimeP1 += dP1
 
 		var maxDelta float64
 		for i, v := range newP1.Data {
@@ -215,6 +297,11 @@ func respond(m *scf.Model, ground *scf.Result, dir int, opt Options, env *gridEn
 		}
 		if maxDelta > 1e12 {
 			return nil, iter, fmt.Errorf("dfpt: response diverging (|ΔP1| = %g) at cycle %d", maxDelta, iter)
+		}
+		if obsOn {
+			samples = append(samples, obs.CycleSample{
+				Iter: int32(iter), Start: cycOff, Durs: durs, Total: cycTotal,
+			})
 		}
 		if maxDelta < opt.Tol {
 			return p1, iter, nil
@@ -340,8 +427,40 @@ func responseDensityGapped(m *scf.Model, ground *scf.Result, h1 *linalg.Matrix, 
 }
 
 // addGammaResponse adds the charge-fluctuation response Hamiltonian
-// ½S_μν(V⁽¹⁾_A + V⁽¹⁾_B) with V⁽¹⁾ = γ·Δq⁽¹⁾ to h1.
+// ½S_μν(V⁽¹⁾_A + V⁽¹⁾_B) with V⁽¹⁾ = γ·Δq⁽¹⁾ to h1. The three steps are
+// the γ-mode realizations of the paper's n⁽¹⁾, v⁽¹⁾ and H⁽¹⁾ phases (the
+// response charges stand in for the real-space response density).
 func addGammaResponse(m *scf.Model, p1, h1 *linalg.Matrix) {
+	dq1 := gammaResponseCharges(m, p1)
+	v1 := gammaResponsePotential(m, dq1)
+	addGammaResponseH1(m, v1, h1)
+}
+
+// gammaResponseTimed runs the same three steps as addGammaResponse with a
+// monotonic clock read (offset from base) at each phase boundary, resetting
+// h1 from hExt inside the H⁽¹⁾ phase. The caller supplies the n⁽¹⁾ start
+// offset (its cycle-start read) and receives the H⁽¹⁾ end offset, which
+// doubles as the P⁽¹⁾ start — two clock reads inside instead of four. It
+// both accumulates the package metrics and returns the per-cycle durations
+// for the span recorder.
+func gammaResponseTimed(m *scf.Model, p1, hExt, h1 *linalg.Matrix, met *PhaseMetrics, base time.Time, start time.Duration) (dn1, dv1, dh1, end time.Duration) {
+	dq1 := gammaResponseCharges(m, p1)
+	t1 := time.Since(base)
+	v1 := gammaResponsePotential(m, dq1)
+	t2 := time.Since(base)
+	h1.CopyFrom(hExt)
+	addGammaResponseH1(m, v1, h1)
+	end = time.Since(base)
+	dn1, dv1, dh1 = t1-start, t2-t1, end-t2
+	met.TimeN1 += dn1
+	met.TimeV1 += dv1
+	met.TimeH1 += dh1
+	return dn1, dv1, dh1, end
+}
+
+// gammaResponseCharges computes the response Mulliken charges
+// Δq⁽¹⁾_A = Σ_{μ∈A} (P⁽¹⁾·S)_μμ — the n⁽¹⁾ phase of γ mode.
+func gammaResponseCharges(m *scf.Model, p1 *linalg.Matrix) []float64 {
 	na := m.NumAtoms()
 	dq1 := make([]float64, na)
 	n := m.Basis.Size()
@@ -349,6 +468,12 @@ func addGammaResponse(m *scf.Model, p1, h1 *linalg.Matrix) {
 		a := m.Basis.Funcs[i].Atom
 		dq1[a] += linalg.Dot(p1.Row(i), m.S.Row(i))
 	}
+	return dq1
+}
+
+// gammaResponsePotential computes V⁽¹⁾ = γ·Δq⁽¹⁾ — the v⁽¹⁾ phase.
+func gammaResponsePotential(m *scf.Model, dq1 []float64) []float64 {
+	na := m.NumAtoms()
 	v1 := make([]float64, na)
 	for a := 0; a < na; a++ {
 		var s float64
@@ -357,6 +482,12 @@ func addGammaResponse(m *scf.Model, p1, h1 *linalg.Matrix) {
 		}
 		v1[a] = s
 	}
+	return v1
+}
+
+// addGammaResponseH1 adds ½S_μν(V⁽¹⁾_A + V⁽¹⁾_B) to h1 — the H⁽¹⁾ phase.
+func addGammaResponseH1(m *scf.Model, v1 []float64, h1 *linalg.Matrix) {
+	n := m.Basis.Size()
 	for i := 0; i < n; i++ {
 		ai := m.Basis.Funcs[i].Atom
 		for j := 0; j < n; j++ {

@@ -16,6 +16,7 @@ import (
 	"qframan/internal/fragment"
 	"qframan/internal/geom"
 	"qframan/internal/linalg"
+	"qframan/internal/obs"
 	"qframan/internal/scf"
 )
 
@@ -43,6 +44,10 @@ type JobOptions struct {
 	DFPT dfpt.Options
 	// SkipAlpha disables the DFPT part (pure Hessian runs).
 	SkipAlpha bool
+	// Obs carries the observability handles of the executing attempt;
+	// RunDisplacement and SolveReference derive the SCF/DFPT scopes from it.
+	// Execution-only: excluded from the store's content fingerprint.
+	Obs obs.Scope
 }
 
 // DefaultJobOptions returns production settings (γ-mode DFPT for speed and
@@ -64,6 +69,11 @@ func RunDisplacement(m *scf.Model, atom, axis, sign int, opt JobOptions) (*Displ
 	if sign != 1 && sign != -1 {
 		return nil, fmt.Errorf("hessian: sign must be ±1")
 	}
+	dsc, dspan := opt.Obs.Begin("disp", "disp",
+		obs.A("atom", int64(atom)), obs.A("axis", int64(axis)), obs.A("sign", int64(sign)))
+	defer dspan.End()
+	opt.SCF.Obs = dsc
+	opt.DFPT.Obs = dsc
 	md := m.Displaced(atom, axis, float64(sign)*opt.Step)
 	ground, err := md.SolveSCF(opt.SCF)
 	if err != nil {
@@ -329,6 +339,10 @@ func SolveReference(m *scf.Model, opt JobOptions) (*JobOptions, bool, error) {
 	if o.SCF.Smearing <= 0 {
 		o.SCF.Smearing = 0.002
 	}
+	// Reference solves appear as direct scf/dfpt children of the attempt
+	// span (displaced solves sit under a "disp" span instead).
+	o.SCF.Obs = opt.Obs
+	o.DFPT.Obs = opt.Obs
 	ref, err := m.SolveSCF(o.SCF)
 	if err != nil {
 		return nil, false, fmt.Errorf("hessian: reference SCF: %w", err)

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Chrome trace_event export/import. Spans are written as "X" (complete)
+// events in the JSON-object format {"traceEvents": [...]}, loadable in
+// chrome://tracing and Perfetto. The span id and parent id ride in the
+// event args (keys "id_" and "parent_"), so ReadChromeTrace reconstructs
+// the exact hierarchy instead of relying on timestamp containment.
+const (
+	argID     = "id_"
+	argParent = "parent_"
+)
+
+// chromeEvent is one trace_event entry. Timestamps and durations are
+// microseconds, per the format.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat"`
+	Ph   string           `json:"ph"`
+	Ts   float64          `json:"ts"`
+	Dur  float64          `json:"dur"`
+	Pid  int              `json:"pid"`
+	Tid  int32            `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// WriteChromeTrace streams the spans as Chrome trace JSON. Events are
+// written one per line, so multi-hundred-MB traces never materialize a
+// second copy in memory.
+func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	for i := range spans {
+		r := &spans[i]
+		ev := chromeEvent{
+			Name: r.Name, Cat: r.Cat, Ph: "X",
+			Ts:  float64(r.Start) / 1e3,
+			Dur: float64(r.Dur) / 1e3,
+			Pid: 1, Tid: r.Track,
+			Args: make(map[string]int64, len(r.Args)+2),
+		}
+		ev.Args[argID] = int64(r.ID)
+		ev.Args[argParent] = int64(r.Parent)
+		for _, a := range r.Args {
+			ev.Args[a.Key] = a.Val
+		}
+		if i > 0 {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		// Encode appends a newline per event; the comma separator above
+		// lands between them, which is still valid JSON whitespace.
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ExportChromeTrace writes the tracer's current spans as Chrome trace JSON.
+func (t *Tracer) ExportChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, t.Snapshot())
+}
+
+// ReadChromeTrace parses a Chrome trace JSON document (either the
+// {"traceEvents": ...} object form or a bare event array) back into span
+// records. Only "X" events are considered; events without the id_ arg
+// (foreign traces) get synthetic ids and no parent.
+func ReadChromeTrace(r io.Reader) ([]SpanRecord, error) {
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<16))
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("obs: trace: %w", err)
+	}
+	switch d := tok.(type) {
+	case json.Delim:
+		switch d {
+		case '[':
+			return readEventArray(dec)
+		case '{':
+			for dec.More() {
+				keyTok, err := dec.Token()
+				if err != nil {
+					return nil, fmt.Errorf("obs: trace: %w", err)
+				}
+				key, _ := keyTok.(string)
+				if key == "traceEvents" {
+					open, err := dec.Token()
+					if err != nil {
+						return nil, fmt.Errorf("obs: trace: %w", err)
+					}
+					if od, ok := open.(json.Delim); !ok || od != '[' {
+						return nil, fmt.Errorf("obs: trace: traceEvents is not an array")
+					}
+					return readEventArray(dec)
+				}
+				// Skip other top-level values.
+				var skip json.RawMessage
+				if err := dec.Decode(&skip); err != nil {
+					return nil, fmt.Errorf("obs: trace: %w", err)
+				}
+			}
+			return nil, fmt.Errorf("obs: trace: no traceEvents array")
+		}
+	}
+	return nil, fmt.Errorf("obs: trace: unexpected leading token %v", tok)
+}
+
+func readEventArray(dec *json.Decoder) ([]SpanRecord, error) {
+	var out []SpanRecord
+	var synth uint64 = 1 << 62 // ids for foreign events lacking id_
+	for dec.More() {
+		var ev chromeEvent
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("obs: trace event %d: %w", len(out), err)
+		}
+		if ev.Ph != "X" {
+			continue
+		}
+		rec := SpanRecord{
+			Track: ev.Tid,
+			Name:  ev.Name,
+			Cat:   ev.Cat,
+			Start: time.Duration(ev.Ts * 1e3),
+			Dur:   time.Duration(ev.Dur * 1e3),
+		}
+		if id, ok := ev.Args[argID]; ok {
+			rec.ID = uint64(id)
+			rec.Parent = uint64(ev.Args[argParent])
+		} else {
+			synth++
+			rec.ID = synth
+		}
+		keys := make([]string, 0, len(ev.Args))
+		for k := range ev.Args {
+			if k != argID && k != argParent {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			rec.Args = append(rec.Args, Arg{Key: k, Val: ev.Args[k]})
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Start != out[b].Start {
+			return out[a].Start < out[b].Start
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out, nil
+}

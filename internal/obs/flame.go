@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// flameNode aggregates spans sharing one name path (root/child/...).
+type flameNode struct {
+	path  string
+	count int
+	total time.Duration
+	self  time.Duration
+}
+
+// WriteFlame prints a plain-text flame summary: every span path with its
+// call count, inclusive time, and self time (inclusive minus children),
+// sorted by inclusive time. Paths are name chains, so the output reads as
+// a collapsed flame graph:
+//
+//	run/sched.run/attempt/disp/dfpt        1234 calls   12.3s total   1.1s self
+func WriteFlame(w io.Writer, spans []SpanRecord) error {
+	byID := make(map[uint64]*SpanRecord, len(spans))
+	for i := range spans {
+		byID[spans[i].ID] = &spans[i]
+	}
+	childSum := make(map[uint64]time.Duration)
+	for i := range spans {
+		if spans[i].Parent != 0 {
+			childSum[spans[i].Parent] += spans[i].Dur
+		}
+	}
+	paths := make(map[uint64]string, len(spans))
+	var pathOf func(r *SpanRecord) string
+	pathOf = func(r *SpanRecord) string {
+		if p, ok := paths[r.ID]; ok {
+			return p
+		}
+		p := r.Name
+		if parent, ok := byID[r.Parent]; ok && r.Parent != r.ID {
+			p = pathOf(parent) + "/" + r.Name
+		}
+		paths[r.ID] = p
+		return p
+	}
+	agg := make(map[string]*flameNode)
+	for i := range spans {
+		r := &spans[i]
+		p := pathOf(r)
+		n := agg[p]
+		if n == nil {
+			n = &flameNode{path: p}
+			agg[p] = n
+		}
+		n.count++
+		n.total += r.Dur
+		self := r.Dur - childSum[r.ID]
+		if self > 0 {
+			n.self += self
+		}
+	}
+	nodes := make([]*flameNode, 0, len(agg))
+	for _, n := range agg {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(a, b int) bool {
+		if nodes[a].total != nodes[b].total {
+			return nodes[a].total > nodes[b].total
+		}
+		return nodes[a].path < nodes[b].path
+	})
+	width := 0
+	for _, n := range nodes {
+		if len(n.path) > width {
+			width = len(n.path)
+		}
+	}
+	for _, n := range nodes {
+		pad := strings.Repeat(" ", width-len(n.path))
+		if _, err := fmt.Fprintf(w, "%s%s  %8d calls  %12v total  %12v self\n",
+			n.path, pad, n.count, n.total.Round(time.Microsecond), n.self.Round(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

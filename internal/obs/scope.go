@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Phase enumerates the four DFPT phases of the paper (§V-A): the response
+// density matrix P⁽¹⁾, the real-space response density n⁽¹⁾(r), the
+// Poisson solve for v⁽¹⁾(r), and the response Hamiltonian H⁽¹⁾. The cycle
+// executes them in the order n1, v1, h1, p1 (the Hamiltonian is built from
+// the previous iterate's density before the new P⁽¹⁾ is formed).
+type Phase int
+
+const (
+	PhaseP1 Phase = iota
+	PhaseN1
+	PhaseV1
+	PhaseH1
+	NumPhases
+)
+
+// PhaseNames are the span and metric names of the phases, indexed by Phase.
+var PhaseNames = [NumPhases]string{"p1", "n1", "v1", "h1"}
+
+// Metric names recorded by the instrumented runtime (see DESIGN.md §6).
+const (
+	MetricFragmentSeconds = "sched_fragment_seconds"
+	MetricQueueDepth      = "sched_queue_depth"
+	MetricRetries         = "sched_retries_total"
+	MetricRequeues        = "sched_requeues_total"
+	MetricPanics          = "sched_panics_total"
+	MetricDedupWaits      = "sched_dedup_waits_total"
+	MetricCacheHits       = "sched_cache_hits_total"
+	MetricCacheMisses     = "sched_cache_misses_total"
+	MetricStoreGetSeconds = "store_get_seconds"
+	MetricStorePutSeconds = "store_put_seconds"
+	MetricStoreReplayRecs = "store_replay_records_total"
+	MetricSCFIterations   = "scf_iterations"
+	MetricSCFSolves       = "scf_solves_total"
+	MetricDFPTCycles      = "dfpt_cycles_total"
+	// Per-phase duration histograms: dfpt_phase_<name>_seconds.
+	metricPhasePrefix = "dfpt_phase_"
+	metricPhaseSuffix = "_seconds"
+)
+
+// PhaseMetricName returns the histogram name of one DFPT phase.
+func PhaseMetricName(p Phase) string {
+	return metricPhasePrefix + PhaseNames[p] + metricPhaseSuffix
+}
+
+// Hot holds pre-resolved instruments for the per-cycle and per-solve hot
+// paths, so instrumented inner loops never take the registry's map lock.
+// PhaseTime histograms observe per-solve phase totals (one sample per DFPT
+// ladder direction); exact per-cycle phase distributions come from the
+// trace spans via AnalyzeTrace.
+type Hot struct {
+	PhaseTime  [NumPhases]*Histogram
+	DFPTCycles *Counter
+	SCFIters   *Histogram
+	SCFSolves  *Counter
+}
+
+func newHot(r *Registry) *Hot {
+	if r == nil {
+		return nil
+	}
+	h := &Hot{
+		DFPTCycles: r.Counter(MetricDFPTCycles),
+		SCFIters:   r.Histogram(MetricSCFIterations, CountBuckets),
+		SCFSolves:  r.Counter(MetricSCFSolves),
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		h.PhaseTime[p] = r.Histogram(PhaseMetricName(p), DurationBuckets)
+	}
+	return h
+}
+
+// FragStats accumulates one fragment's engine-side cost. The scheduler
+// allocates one per fragment and threads a pointer down through the Scope;
+// concurrent workers of one leader add to it, so all fields are atomic.
+type FragStats struct {
+	phaseNS [NumPhases]atomic.Int64
+	cycles  atomic.Int64
+	scfIter atomic.Int64
+}
+
+// AddPhase accumulates one phase duration. Nil-safe.
+func (fs *FragStats) AddPhase(p Phase, d time.Duration) {
+	if fs != nil {
+		fs.phaseNS[p].Add(int64(d))
+	}
+}
+
+// AddCycle counts one completed DFPT cycle. Nil-safe.
+func (fs *FragStats) AddCycle() {
+	if fs != nil {
+		fs.cycles.Add(1)
+	}
+}
+
+// AddCycles counts a batch of completed DFPT cycles. Nil-safe.
+func (fs *FragStats) AddCycles(n int) {
+	if fs != nil {
+		fs.cycles.Add(int64(n))
+	}
+}
+
+// AddSCFIters accumulates SCF iterations. Nil-safe.
+func (fs *FragStats) AddSCFIters(n int) {
+	if fs != nil {
+		fs.scfIter.Add(int64(n))
+	}
+}
+
+// PhaseTotals returns the per-phase duration sums.
+func (fs *FragStats) PhaseTotals() [NumPhases]time.Duration {
+	var out [NumPhases]time.Duration
+	if fs != nil {
+		for p := range out {
+			out[p] = time.Duration(fs.phaseNS[p].Load())
+		}
+	}
+	return out
+}
+
+// Cycles returns the DFPT cycle count.
+func (fs *FragStats) Cycles() int64 {
+	if fs == nil {
+		return 0
+	}
+	return fs.cycles.Load()
+}
+
+// SCFIters returns the accumulated SCF iteration count.
+func (fs *FragStats) SCFIters() int64 {
+	if fs == nil {
+		return 0
+	}
+	return fs.scfIter.Load()
+}
+
+// Scope carries the observability handles through the engine layers: the
+// tracer and registry to record into, the parent span for new spans, the
+// track (trace lane) of the executing worker, and the per-fragment stats
+// accumulator. Scopes are small values copied freely down the call tree;
+// the zero Scope disables every site it reaches.
+type Scope struct {
+	T     *Tracer
+	R     *Registry
+	Hot   *Hot
+	FS    *FragStats
+	Span  *Span
+	Track int32
+}
+
+// NewScope builds the root scope over a tracer and/or registry (either may
+// be nil).
+func NewScope(t *Tracer, r *Registry) Scope {
+	return Scope{T: t, R: r, Hot: newHot(r)}
+}
+
+// Enabled reports whether any instrumentation sink is attached.
+func (s Scope) Enabled() bool { return s.T != nil || s.R != nil }
+
+// Tracing reports whether spans are being recorded.
+func (s Scope) Tracing() bool { return s.T != nil }
+
+// Begin opens a child span and returns the derived scope (with the new span
+// as parent) plus the span itself.
+func (s Scope) Begin(name, cat string, args ...Arg) (Scope, *Span) {
+	sp := s.T.BeginOn(s.Track, s.Span, name, cat, args...)
+	s.Span = sp
+	return s, sp
+}
+
+// WithSpan re-parents the scope under an existing span.
+func (s Scope) WithSpan(sp *Span) Scope {
+	s.Span = sp
+	return s
+}
+
+// WithFrag attaches a fragment-stats accumulator.
+func (s Scope) WithFrag(fs *FragStats) Scope {
+	s.FS = fs
+	return s
+}
+
+// WithTrack moves the scope (and spans begun from it) to a trace lane.
+func (s Scope) WithTrack(track int32) Scope {
+	s.Track = track
+	return s
+}
+
+// RecordSCF records one SCF solve: a span carrying the iteration count,
+// the iteration histogram, and the fragment accumulator.
+func (s Scope) RecordSCF(start time.Time, iters int) {
+	if s.T != nil {
+		s.T.Record(s.Span.ID(), s.Track, "scf", "scf",
+			s.T.Since(start), time.Since(start), A("iters", int64(iters)))
+	}
+	if s.Hot != nil {
+		s.Hot.SCFIters.Observe(float64(iters))
+		s.Hot.SCFSolves.Inc()
+	}
+	s.FS.AddSCFIters(iters)
+}
+
+// RecordDFPTCycle records one DFPT cycle — a cycle span with exactly four
+// phase children in execution order (n1, v1, h1, p1) — plus the phase
+// histograms and fragment accumulator. It is the single-sample form of
+// RecordDFPTCycles; solvers on the hot path should accumulate locally and
+// flush one batch per solve instead.
+func (s Scope) RecordDFPTCycle(iter int, start time.Time, durs [NumPhases]time.Duration, total time.Duration) {
+	s.RecordDFPTCycles(start, []CycleSample{{Iter: int32(iter), Durs: durs, Total: total}})
+}
+
+// RecordDFPTCycles records one solve's worth of DFPT cycles in a single
+// batch: the phase histograms observe the solve's per-phase totals, the
+// fragment accumulator gains the same totals plus the cycle count, and the
+// tracer stores one compact 64-byte record per cycle under one shard lock
+// (expanded to the cycle span and its four phase children at Snapshot).
+// base is the solve's wall-clock anchor; sample offsets are relative to it.
+// Keeping the per-cycle cost to a local append is what holds tracing
+// overhead under the 3% budget on µs-scale gamma-mode cycles.
+func (s Scope) RecordDFPTCycles(base time.Time, samples []CycleSample) {
+	if len(samples) == 0 {
+		return
+	}
+	var tot [NumPhases]time.Duration
+	for i := range samples {
+		for p := Phase(0); p < NumPhases; p++ {
+			tot[p] += samples[i].Durs[p]
+		}
+	}
+	if s.Hot != nil {
+		for p := Phase(0); p < NumPhases; p++ {
+			s.Hot.PhaseTime[p].Observe(tot[p].Seconds())
+		}
+		s.Hot.DFPTCycles.Add(int64(len(samples)))
+	}
+	if s.FS != nil {
+		for p := Phase(0); p < NumPhases; p++ {
+			s.FS.AddPhase(p, tot[p])
+		}
+		s.FS.AddCycles(len(samples))
+	}
+	s.T.recordCycles(s.Span.ID(), s.Track, base, samples)
+}

@@ -3,9 +3,11 @@ package scf
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"qframan/internal/geom"
 	"qframan/internal/linalg"
+	"qframan/internal/obs"
 )
 
 // Options configures the SCF iteration.
@@ -32,6 +34,11 @@ type Options struct {
 	// loop's dominant speedup). Must have one entry per atom; nil starts
 	// from neutral atoms.
 	InitDeltaQ []float64
+	// Obs carries the observability handles (span tracer, metrics
+	// registry, per-fragment accumulator). Execution-only: it never
+	// affects a converged result and is excluded from the store's content
+	// fingerprint. The zero Scope disables instrumentation.
+	Obs obs.Scope
 }
 
 // DefaultOptions returns robust SCF settings: conservative mixing converges
@@ -75,6 +82,11 @@ func (m *Model) SolveSCF(opt Options) (*Result, error) {
 	nocc := m.NumOcc()
 	if nocc > n {
 		return nil, fmt.Errorf("scf: %d occupied orbitals exceed basis size %d", nocc, n)
+	}
+
+	var obsStart time.Time
+	if opt.Obs.Enabled() {
+		obsStart = time.Now()
 	}
 
 	// External field term: +Σ_k E_k D^k.
@@ -145,8 +157,17 @@ func (m *Model) SolveSCF(opt Options) (*Result, error) {
 			if nocc > 0 && nocc < n {
 				res.Gap = eps[nocc] - eps[nocc-1]
 			}
+			if opt.Obs.Enabled() {
+				opt.Obs.RecordSCF(obsStart, iter)
+			}
 			return res, nil
 		}
+	}
+	// Failed solves are recorded too: a rung of the smearing ladder that
+	// burns MaxIter iterations is exactly the cost a straggler report must
+	// see.
+	if opt.Obs.Enabled() {
+		opt.Obs.RecordSCF(obsStart, opt.MaxIter)
 	}
 	return nil, fmt.Errorf("scf: not converged after %d iterations", opt.MaxIter)
 }

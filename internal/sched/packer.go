@@ -138,10 +138,14 @@ func (p *Packer) Next() *Task {
 		budget := p.opt.PackTargetAtoms
 		maxPack := p.opt.MaxPack
 		if tail {
-			// Granularity shrinks with the remaining pool.
+			// Granularity shrinks with the remaining pool — shrinks only:
+			// the configured MaxPack stays a hard ceiling.
 			maxPack = p.Remaining() / p.opt.NumLeaders
 			if maxPack < 1 {
 				maxPack = 1
+			}
+			if p.opt.MaxPack > 0 && maxPack > p.opt.MaxPack {
+				maxPack = p.opt.MaxPack
 			}
 			budget = p.sizes[first] * maxPack
 		}

@@ -11,6 +11,7 @@ import (
 	"qframan/internal/faults"
 	"qframan/internal/fragment"
 	"qframan/internal/hessian"
+	"qframan/internal/obs"
 	"qframan/internal/scf"
 	"qframan/internal/store"
 )
@@ -55,6 +56,12 @@ type Options struct {
 	// completion, and deterministic within-run dedup of identical
 	// fragments.
 	Cache CacheOptions
+	// Obs carries the observability sinks (span tracer, metrics registry).
+	// The runtime records run/task/frag/attempt spans, dispatch and cache
+	// metrics, and the per-fragment ledger behind Report.Stragglers; the
+	// scope is threaded down to the SCF/DFPT engine for per-phase spans.
+	// The zero Scope disables all of it.
+	Obs obs.Scope
 }
 
 // CacheOptions configures the runtime's use of a checkpoint store.
@@ -122,6 +129,20 @@ type Report struct {
 	// failed — including CRC-corrupt records, which are evicted and
 	// recomputed. Store failures degrade to recomputation, never abort.
 	StoreErrors int
+	// Stragglers is the per-phase latency and top-K slowest-fragment
+	// summary assembled from the observability ledger; nil when the run had
+	// no Options.Obs sinks attached.
+	Stragglers *obs.StragglerSummary
+}
+
+// StragglerTopK is how many slowest fragments Report.Stragglers keeps.
+const StragglerTopK = 10
+
+func b2i(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 // fragment lifecycle states tracked by the master.
@@ -167,6 +188,36 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 		process = leaderProcessFragment
 	}
 
+	// Observability: the run span roots the trace; dispatch-side metric
+	// instruments are resolved once here (every handle is nil-safe, so
+	// with no registry attached each site costs one branch).
+	obsSc := opt.Obs
+	obsOn := obsSc.Enabled()
+	tracing := obsSc.Tracing()
+	runSc, runSpan := obsSc.Begin("sched.run", "sched",
+		obs.A("fragments", int64(nf)), obs.A("leaders", int64(opt.NumLeaders)))
+	mQueue := obsSc.R.Gauge(obs.MetricQueueDepth)
+	mRetries := obsSc.R.Counter(obs.MetricRetries)
+	mRequeues := obsSc.R.Counter(obs.MetricRequeues)
+	mPanics := obsSc.R.Counter(obs.MetricPanics)
+	mDedup := obsSc.R.Counter(obs.MetricDedupWaits)
+	mHits := obsSc.R.Counter(obs.MetricCacheHits)
+	mMisses := obsSc.R.Counter(obs.MetricCacheMisses)
+	mFragWall := obsSc.R.Histogram(obs.MetricFragmentSeconds, obs.DurationBuckets)
+	mQueue.Set(int64(nf))
+	// Per-fragment ledger feeding Report.Stragglers: wall time across
+	// attempts, engine-side phase accumulators, and cache provenance.
+	var fragStats []obs.FragStats
+	var fragWall []time.Duration
+	var fragSpans []*obs.Span
+	var cacheServed []bool
+	if obsOn {
+		fragStats = make([]obs.FragStats, nf)
+		fragWall = make([]time.Duration, nf)
+		fragSpans = make([]*obs.Span, nf)
+		cacheServed = make([]bool, nf)
+	}
+
 	// With a store attached, fingerprint every fragment up front and elect
 	// one deterministic producer per content key — the lowest fragment
 	// index. Only producers compute; every other fragment of a key class
@@ -175,6 +226,9 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 	// results independent of goroutine scheduling, which is what lets a
 	// resumed run bit-match an uninterrupted one.
 	cacheOn := opt.Cache.Store != nil
+	if cacheOn && obsOn {
+		opt.Cache.Store.SetObs(obsSc)
+	}
 	var keys []store.Key
 	var frames []store.Frame
 	producer := make(map[store.Key]int)
@@ -265,9 +319,15 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 		state[fi] = stateProcessing
 		startedAt[fi] = time.Now()
 		attempts[fi]++
+		if tracing && fragSpans[fi] == nil {
+			// The fragment span opens at first claim and ends at
+			// resolution, covering queue waits between attempts.
+			fragSpans[fi] = obsSc.T.Begin(runSpan, "frag", "frag",
+				obs.A("frag", int64(fi)), obs.A("atoms", int64(sizes[fi])))
+		}
 		return attempts[fi], true
 	}
-	complete := func(fi int, data *hessian.FragmentData) bool {
+	complete := func(fi int, data *hessian.FragmentData, served bool) bool {
 		mu.Lock()
 		defer mu.Unlock()
 		if state[fi] == stateDone || state[fi] == stateFailed {
@@ -276,6 +336,15 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 		state[fi] = stateDone
 		results[fi] = data
 		resolved++
+		if obsOn {
+			fragWall[fi] += time.Since(startedAt[fi])
+			cacheServed[fi] = served
+			mFragWall.ObserveDuration(fragWall[fi])
+			mQueue.Set(int64(nf - resolved))
+			if sp := fragSpans[fi]; sp != nil {
+				sp.End(obs.A("attempts", int64(attempts[fi])), obs.A("cachehit", b2i(served)))
+			}
+		}
 		return true
 	}
 	// unmark releases a claim taken by markProcessing without recording an
@@ -288,6 +357,7 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 		if state[fi] == stateProcessing && attempts[fi] == attempt {
 			state[fi] = statePending
 			attempts[fi]--
+			mDedup.Inc()
 			retryQ = append(retryQ, retryEntry{fi: fi, readyAt: time.Now().Add(dedupWaitTick)})
 		}
 	}
@@ -321,9 +391,18 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 	}
 	// lookup serves a fragment from the store if an eligible record
 	// exists; prior-run records require Resume. Store errors (corrupt or
-	// unreadable records) degrade to a miss and are counted.
-	lookup := func(fi int) (*hessian.FragmentData, bool) {
+	// unreadable records) degrade to a miss and are counted. The lookup is
+	// recorded as a store.get child of the attempt span.
+	lookup := func(fi int, parent uint64, track int32) (*hessian.FragmentData, bool) {
+		var t0 time.Time
+		if tracing {
+			t0 = time.Now()
+		}
 		fd, prior, err := opt.Cache.Store.Get(keys[fi], frames[fi])
+		if tracing {
+			obsSc.T.Record(parent, track, "store.get", "store",
+				obsSc.T.Since(t0), time.Since(t0), obs.A("hit", b2i(fd != nil)))
+		}
 		if err != nil {
 			mu.Lock()
 			report.StoreErrors++
@@ -361,9 +440,13 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 		if state[fi] != stateProcessing || attempts[fi] != attempt {
 			return !aborted
 		}
+		if obsOn {
+			fragWall[fi] += time.Since(startedAt[fi])
+		}
 		if faults.IsTransient(err) && attempts[fi] < opt.Retry.Attempts() {
 			state[fi] = statePending
 			report.Retries++
+			mRetries.Inc()
 			retryQ = append(retryQ, retryEntry{
 				fi:      fi,
 				readyAt: time.Now().Add(opt.Retry.Backoff(fi, attempts[fi])),
@@ -374,6 +457,13 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 			state[fi] = stateFailed
 			failed = append(failed, fi)
 			resolved++
+			if obsOn {
+				mFragWall.ObserveDuration(fragWall[fi])
+				mQueue.Set(int64(nf - resolved))
+				if sp := fragSpans[fi]; sp != nil {
+					sp.End(obs.A("attempts", int64(attempts[fi])), obs.A("failed", 1))
+				}
+			}
 			return true
 		}
 		aborted = true
@@ -382,8 +472,9 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 	}
 
 	// attemptFragment runs one processing attempt under the injector's
-	// chaos plan, with panics recovered and results scrubbed for NaN.
-	attemptFragment := func(fi, attempt int) (data *hessian.FragmentData, err error) {
+	// chaos plan, with panics recovered and results scrubbed for NaN. The
+	// attempt's observability scope rides into the engine via Job.Obs.
+	attemptFragment := func(fi, attempt int, sc obs.Scope) (data *hessian.FragmentData, err error) {
 		var act faults.Action
 		if opt.Injector != nil {
 			act = opt.Injector.Plan(fi, attempt)
@@ -399,13 +490,16 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 				mu.Lock()
 				report.Panics++
 				mu.Unlock()
+				mPanics.Inc()
 				data, err = nil, faults.Recovered(r)
 			}
 		}()
 		if act.Panic {
 			panic(fmt.Sprintf("faults: injected panic (fragment %d attempt %d)", fi, attempt))
 		}
-		data, err = process(&dec.Fragments[fi], opt)
+		o := opt
+		o.Job.Obs = sc
+		data, err = process(&dec.Fragments[fi], o)
 		if err != nil {
 			return nil, err
 		}
@@ -439,6 +533,10 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 						if state[fi] == stateProcessing && now.Sub(startedAt[fi]) > opt.StragglerTimeout {
 							state[fi] = statePending
 							report.Requeues++
+							mRequeues.Inc()
+							if obsOn {
+								fragWall[fi] += now.Sub(startedAt[fi])
+							}
 							retryQ = append(retryQ, retryEntry{fi: fi, readyAt: now})
 						}
 					}
@@ -454,6 +552,10 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 		go func(leaderID int) {
 			defer wg.Done()
 			stats := &report.Leaders[leaderID]
+			// Trace lanes: leader l owns track 1+l*(W+1); its W workers take
+			// the following W tracks (see runFragmentWorkers). Track 0 holds
+			// the run and fragment spans.
+			leaderTrack := int32(1 + leaderID*(opt.WorkersPerLeader+1))
 			var pending *Task
 			defer func() {
 				if pending != nil {
@@ -477,26 +579,42 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 				if opt.Prefetch && pending == nil {
 					pending, _ = nextTask()
 				}
+				var taskSpan *obs.Span
+				if tracing {
+					taskSpan = obsSc.T.BeginOn(leaderTrack, runSpan, "task", "sched",
+						obs.A("task", int64(task.ID)), obs.A("nfrags", int64(len(task.Fragments))))
+				}
 				t0 := time.Now()
 				for i, fi := range task.Fragments {
 					attempt, ok := markProcessing(fi)
 					if !ok {
 						continue // completed elsewhere meanwhile
 					}
+					attSc := runSc
+					var attSpan *obs.Span
+					if obsOn {
+						attSc = attSc.WithTrack(leaderTrack).WithFrag(&fragStats[fi])
+						if tracing {
+							attSpan = obsSc.T.BeginOn(leaderTrack, fragSpans[fi], "attempt", "sched",
+								obs.A("frag", int64(fi)), obs.A("attempt", int64(attempt)))
+							attSc = attSc.WithSpan(attSpan)
+						}
+					}
 					var data *hessian.FragmentData
 					served, servedPrior := false, false
 					if cacheOn {
-						fd, prior := lookup(fi)
+						fd, prior := lookup(fi, attSpan.ID(), leaderTrack)
 						if fd == nil {
 							switch elect(fi) {
 							case produceWait:
 								unmark(fi, attempt) // wait for the key's producer
+								attSpan.End(obs.A("wait", 1))
 								continue
 							case produceRecheck:
 								// Producer completed after our miss; its
 								// checkpoint (if writes are on) landed
 								// before completion, so look again.
-								fd, prior = lookup(fi)
+								fd, prior = lookup(fi, attSpan.ID(), leaderTrack)
 							}
 						}
 						if fd != nil {
@@ -505,9 +623,11 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 					}
 					if data == nil {
 						var err error
-						data, err = attemptFragment(fi, attempt)
+						data, err = attemptFragment(fi, attempt, attSc)
 						if err != nil {
+							attSpan.End(obs.A("err", 1))
 							if !fail(fi, attempt, err) {
+								taskSpan.End()
 								restore(task.Fragments[i+1:])
 								return
 							}
@@ -518,7 +638,16 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 							// so computed and cache-served completions are
 							// bit-identical. A failed checkpoint degrades
 							// to keeping the in-memory result.
-							if rt, perr := opt.Cache.Store.Put(keys[fi], frames[fi], data); perr != nil {
+							var pt0 time.Time
+							if tracing {
+								pt0 = time.Now()
+							}
+							rt, perr := opt.Cache.Store.Put(keys[fi], frames[fi], data)
+							if tracing {
+								obsSc.T.Record(attSpan.ID(), leaderTrack, "store.put", "store",
+									obsSc.T.Since(pt0), time.Since(pt0), obs.A("err", b2i(perr != nil)))
+							}
+							if perr != nil {
 								mu.Lock()
 								report.StoreErrors++
 								mu.Unlock()
@@ -527,7 +656,8 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 							}
 						}
 					}
-					if complete(fi, data) {
+					attSpan.End(obs.A("cachehit", b2i(served)))
+					if complete(fi, data, served) {
 						stats.Fragments++
 						stats.Displacements += 6 * dec.Fragments[fi].NumAtoms()
 						if cacheOn {
@@ -539,13 +669,16 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 								} else {
 									report.Deduped++
 								}
+								mHits.Inc()
 							} else {
 								report.CacheMisses++
+								mMisses.Inc()
 							}
 							mu.Unlock()
 						}
 					}
 				}
+				taskSpan.End()
 				stats.Tasks++
 				stats.Busy += time.Since(t0)
 				mu.Lock()
@@ -557,6 +690,19 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 	wg.Wait()
 	close(stopWatchdog)
 	report.Elapsed = time.Since(start)
+	runSpan.End()
+	if obsOn {
+		rows := make([]obs.FragStat, nf)
+		for i := range rows {
+			rows[i] = obs.FragStat{
+				Frag: i, Atoms: sizes[i], Attempts: attempts[i],
+				Wall: fragWall[i], Phase: fragStats[i].PhaseTotals(),
+				Cycles: fragStats[i].Cycles(), SCFIters: fragStats[i].SCFIters(),
+				CacheHit: cacheServed[i],
+			}
+		}
+		report.Stragglers = obs.Stragglers(rows, StragglerTopK)
+	}
 
 	sort.Ints(failed)
 	report.Failed = failed
@@ -583,7 +729,9 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 // (static partition — the computational strength of a fragment does not
 // change with the displaced atom, §V-A).
 func leaderProcessFragment(f *fragment.Fragment, opt Options) (*hessian.FragmentData, error) {
+	_, mspan := opt.Job.Obs.Begin("model", "engine")
 	m, err := hessian.ModelForFragment(f)
+	mspan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -632,10 +780,16 @@ func runFragmentWorkers(f *fragment.Fragment, m *scf.Model, opt Options, jobOpt 
 		wg.Add(1)
 		go func(workerID int) {
 			defer wg.Done()
+			// Each worker records on its own trace lane, offset from the
+			// leader's track (see the lane layout in Run).
+			wopt := opt.Job
+			if wopt.Obs.Enabled() {
+				wopt.Obs = wopt.Obs.WithTrack(wopt.Obs.Track + 1 + int32(workerID))
+			}
 			// Static partition of displacements across workers.
 			for k := workerID; k < len(jobs); k += opt.WorkersPerLeader {
 				j := jobs[k]
-				r, err := hessian.RunDisplacement(m, j.atom, j.axis, j.sign, opt.Job)
+				r, err := hessian.RunDisplacement(m, j.atom, j.axis, j.sign, wopt)
 				if err != nil {
 					errs[workerID] = err
 					return

@@ -1,0 +1,89 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"qframan/internal/hessian"
+)
+
+// FuzzDecodeFragmentRecord throws arbitrary bytes at Decode. The codec's
+// contract under corruption is total: every input either decodes into a
+// record whose re-encoding is byte-identical, or fails with ErrCorrupt
+// (ErrVersion for future-codec records) — never a panic, never a partially
+// populated result, and never an allocation larger than the input itself
+// (a hostile length field must not turn a 50-byte record into a gigabyte
+// of zeroed floats).
+func FuzzDecodeFragmentRecord(f *testing.F) {
+	// Seed with every presence pattern a real run can write, so mutations
+	// start from structurally valid records and explore the boundary
+	// between "CRC caught it" and "structure caught it".
+	full := randomData(2, 11)
+	seeds := []*hessian.FragmentData{
+		full,
+		randomData(1, 3),
+		randomData(6, 5),
+		{Hess: full.Hess},
+		{DAlpha: full.DAlpha, DDipole: full.DDipole},
+		{},
+	}
+	for _, fd := range seeds {
+		blob, err := Encode(fd)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		// A torn tail and a flipped header are the two corruptions the
+		// manifest-replay path sees in practice; seed both shapes.
+		f.Add(blob[:len(blob)/2])
+		head := append([]byte(nil), blob...)
+		head[0] ^= 0xff
+		f.Add(head)
+	}
+	f.Add([]byte(nil))
+	f.Add([]byte("QFST"))
+	f.Add([]byte("QFST\x02\x00\x00\x00\x00\x00\x00\x00\x00")) // future version, bogus CRC
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fd, err := Decode(b) // must not panic on any input
+		if err != nil {
+			if fd != nil {
+				t.Fatalf("Decode returned data alongside error %v", err)
+			}
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("Decode error %v is neither ErrCorrupt nor ErrVersion", err)
+			}
+			return
+		}
+		// Success: the decoded payload is bounded by the record that
+		// carried it — no length field can inflate past the input.
+		floats := 0
+		if fd.Hess != nil {
+			floats += len(fd.Hess.Data)
+		}
+		for _, c := range fd.DAlpha {
+			floats += len(c)
+		}
+		for _, k := range fd.DDipole {
+			floats += len(k)
+		}
+		if 8*floats > len(b) {
+			t.Fatalf("decoded %d floats (%d bytes) from a %d-byte record", floats, 8*floats, len(b))
+		}
+		// And it roundtrips semantically: anything Decode accepts must
+		// survive Encode∘Decode bit-for-bit. (Byte equality with the input
+		// is deliberately not asserted — Decode tolerates any nonzero
+		// presence byte while Encode canonically writes 1.)
+		blob, err := Encode(fd)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded record failed: %v", err)
+		}
+		again, err := Decode(blob)
+		if err != nil {
+			t.Fatalf("decoding a freshly encoded record failed: %v", err)
+		}
+		if !again.BitEqual(fd) {
+			t.Fatalf("Encode∘Decode changed the record (%d-byte input)", len(b))
+		}
+	})
+}

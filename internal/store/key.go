@@ -50,9 +50,11 @@ const fingerprintVersion = "qfkey/v1/codec1\n"
 // inputs only: species, canonicalized quantized coordinates (caps
 // included), and every solver setting that can change a converged result.
 // It deliberately excludes the fragment's identity (ID, Kind, Coeff,
-// GlobalIdx — assembly bookkeeping applied outside the stored data) and the
+// GlobalIdx — assembly bookkeeping applied outside the stored data), the
 // warm-start fields (InitDeltaQ, InitP1, Executor — starting points and
-// execution backends, which do not move a converged answer).
+// execution backends, which do not move a converged answer), and the Obs
+// observability scopes (pure instrumentation: a traced run must share keys
+// with an untraced one).
 //
 // A non-zero external SCF field breaks rotational isotropy, so the frame
 // then canonicalizes translation only: field runs never dedupe rotated

@@ -9,8 +9,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"qframan/internal/hessian"
+	"qframan/internal/obs"
 )
 
 // Store is the on-disk checkpoint/cache. Layout:
@@ -34,6 +36,12 @@ type Store struct {
 	manifest *os.File
 	idx      map[Key]*entry
 	logical  int // put+ref manifest records across all runs
+	replayed int // manifest records replayed at Open
+
+	// Latency instruments; nil until SetObs. Loaded without s.mu (set once,
+	// before concurrent use) and nil-safe to observe.
+	obsGet *obs.Histogram
+	obsPut *obs.Histogram
 }
 
 // entry is the in-memory index of one object.
@@ -69,6 +77,7 @@ func Open(dir string) (*Store, error) {
 	if err := s.replay(); err != nil {
 		return nil, err
 	}
+	s.replayed = s.logical
 	f, err := os.OpenFile(filepath.Join(dir, manifestName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -94,6 +103,19 @@ func (s *Store) Close() error {
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetObs attaches metric instruments: Get/Put latency histograms and a
+// counter publishing the manifest records replayed at Open. Call once,
+// before the store is used concurrently; a scope without a registry is a
+// no-op.
+func (s *Store) SetObs(sc obs.Scope) {
+	if sc.R == nil {
+		return
+	}
+	s.obsGet = sc.R.Histogram(obs.MetricStoreGetSeconds, obs.DurationBuckets)
+	s.obsPut = sc.R.Histogram(obs.MetricStorePutSeconds, obs.DurationBuckets)
+	sc.R.Counter(obs.MetricStoreReplayRecs).Add(int64(s.replayed))
+}
 
 func (s *Store) replay() error {
 	f, err := os.Open(filepath.Join(s.dir, manifestName))
@@ -175,6 +197,9 @@ func (s *Store) appendLine(line string) error {
 // the input — and callers should use it in place of the input so computed
 // and cache-served fragments are bit-identical.
 func (s *Store) Put(k Key, fr Frame, fd *hessian.FragmentData) (*hessian.FragmentData, error) {
+	if s.obsPut != nil {
+		defer func(t0 time.Time) { s.obsPut.ObserveDuration(time.Since(t0)) }(time.Now())
+	}
 	canon, err := fr.ToCanonical(fd)
 	if err != nil {
 		return nil, err
@@ -253,6 +278,9 @@ func (s *Store) writeObject(k Key, blob []byte) error {
 // reports that the record was produced by an earlier run (and not
 // re-vouched by this one): resume accounting.
 func (s *Store) Get(k Key, fr Frame) (*hessian.FragmentData, bool, error) {
+	if s.obsGet != nil {
+		defer func(t0 time.Time) { s.obsGet.ObserveDuration(time.Since(t0)) }(time.Now())
+	}
 	s.mu.Lock()
 	e, ok := s.idx[k]
 	var prior bool
