@@ -1,8 +1,8 @@
 // Command genstruct generates the synthetic molecular systems of this
 // reproduction — polypeptides, water boxes, water-dimer benchmark sets, and
 // solvated proteins — and can compute the streaming fragment statistics of
-// arbitrarily large water boxes (the paper's 101,250,000-atom system) without
-// materializing them.
+// arbitrarily large water boxes (the paper's 101,250,000-atom system,
+// §VI-A) without materializing them.
 //
 // Examples:
 //

@@ -22,6 +22,7 @@ import (
 	"qframan/internal/core"
 	"qframan/internal/faults"
 	"qframan/internal/obs"
+	"qframan/internal/par"
 	"qframan/internal/sched"
 	"qframan/internal/store"
 	"qframan/internal/structure"
@@ -44,6 +45,7 @@ func main() {
 	irOut := flag.String("ir", "", "also compute the IR spectrum and write it to this TSV file")
 	leaders := flag.Int("leaders", max(1, runtime.NumCPU()/2), "parallel leaders")
 	workers := flag.Int("workers", 2, "workers per leader")
+	kernelThreads := flag.Int("kernel-threads", 0, "intra-fragment kernel thread budget shared with the leader/worker fan-out (0 = GOMAXPROCS; results are bit-identical at any value)")
 	out := flag.String("o", "", "spectrum output TSV (default stdout)")
 
 	var ft faultFlags
@@ -65,6 +67,9 @@ func main() {
 	flag.StringVar(&of.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
+	if *kernelThreads > 0 {
+		par.SetBudget(*kernelThreads)
+	}
 	if err := run(*in, *seq, *fold, *dimers, *waterBox, *solvate,
 		*fmin, *fmax, *fstep, *sigma, *k, *dense, *leaders, *workers, *out, *irOut, ft, cf, of); err != nil {
 		fmt.Fprintln(os.Stderr, "qframan:", err)
@@ -105,6 +110,7 @@ func (of obsFlags) apply(cfg *core.Config) (*obsSinks, error) {
 		s.tracer = obs.NewTracer()
 	}
 	cfg.Sched.Obs = obs.NewScope(s.tracer, s.reg)
+	par.SetObs(s.reg) // pool occupancy + per-kernel shard timings
 	notifyMetricsDump(func() {
 		fmt.Fprintln(os.Stderr, "qframan: SIGUSR1 metrics snapshot:")
 		s.reg.Snapshot().WriteText(os.Stderr)

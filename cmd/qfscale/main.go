@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "fig8 | fig9 | fig10 | fig11 | table1 | all")
+	exp := flag.String("exp", "all", "fig8 | fig9 | fig10 | fig11 | table1 | kernels | all")
 	scale := flag.Int("scale", 16, "divide the published node and fragment counts by this factor (1 = full scale)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	withFaults := flag.Bool("faults", false, "inject node failures into the simulations (per-node MTBF from -mtbf)")
@@ -53,6 +53,11 @@ func main() {
 	run("fig10", func() error { return fig10(opt) })
 	run("fig11", func() error { return fig11(opt) })
 	run("table1", func() error { return table1(*seed) })
+	// The kernel-scaling experiment is minutes of real compute (a full
+	// grid-mode waterbox run); it only runs when asked for by name.
+	if *exp == "kernels" {
+		run("kernels", kernels)
+	}
 }
 
 func fig8(opt simhpc.ExperimentOptions) error {

@@ -3,7 +3,8 @@
 // C/N/O/S. Overlap and dipole integrals and their center derivatives are
 // analytic (Obara–Saika one-dimensional recursions), and functions can be
 // evaluated — with gradients — on real-space grid points for the DFPT
-// density and Hamiltonian phases.
+// density and Hamiltonian phases (paper §V-A; the per-batch tabulations
+// feed the batched grid GEMMs of §V-C).
 //
 // All lengths are in bohr and the basis is orthonormalized per function
 // (<χ|χ> = 1); the overlap matrix S is therefore unit-diagonal.

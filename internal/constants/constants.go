@@ -4,7 +4,8 @@
 // Internally the quantum engine works in Hartree atomic units (energy in
 // hartree, length in bohr, mass in electron masses), while structure
 // generation and user-facing geometry use ångströms and vibrational
-// frequencies are reported in cm⁻¹, matching the conventions of the paper.
+// frequencies are reported in cm⁻¹, matching the conventions of the paper's
+// Raman spectra (§VI-A).
 package constants
 
 import "math"

@@ -6,6 +6,7 @@ import (
 
 	"qframan/internal/grid"
 	"qframan/internal/linalg"
+	"qframan/internal/par"
 	"qframan/internal/poisson"
 	"qframan/internal/scf"
 )
@@ -36,26 +37,32 @@ func newGridEnv(m *scf.Model, opt Options) (*gridEnv, error) {
 	g := grid.Cover(m.Pos, opt.GridMargin, opt.GridSpacing)
 	raw := g.Batches(opt.BatchSide, m.Basis)
 	env := &gridEnv{g: g, batches: make([]batchData, len(raw))}
-	for bi, b := range raw {
-		npts, nloc := len(b.Indices), len(b.Funcs)
-		x := linalg.NewMatrix(npts, nloc)
-		var gx [3]*linalg.Matrix
-		for d := range gx {
-			gx[d] = linalg.NewMatrix(npts, nloc)
-		}
-		for p, idx := range b.Indices {
-			pt := g.Point(idx)
-			for c, fi := range b.Funcs {
-				f := &m.Basis.Funcs[fi]
-				x.Set(p, c, f.ValueAt(pt))
-				gr := f.GradAt(pt)
-				gx[0].Set(p, c, gr.X)
-				gx[1].Set(p, c, gr.Y)
-				gx[2].Set(p, c, gr.Z)
+	// Tabulation is the expensive part of every displaced geometry's setup;
+	// batches are independent (each writes only env.batches[bi]), so it
+	// shards across the kernel pool.
+	par.For("grid_tabulate", len(raw), 1, func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			b := raw[bi]
+			npts, nloc := len(b.Indices), len(b.Funcs)
+			x := linalg.NewMatrix(npts, nloc)
+			var gx [3]*linalg.Matrix
+			for d := range gx {
+				gx[d] = linalg.NewMatrix(npts, nloc)
 			}
+			for p, idx := range b.Indices {
+				pt := g.Point(idx)
+				for c, fi := range b.Funcs {
+					f := &m.Basis.Funcs[fi]
+					x.Set(p, c, f.ValueAt(pt))
+					gr := f.GradAt(pt)
+					gx[0].Set(p, c, gr.X)
+					gx[1].Set(p, c, gr.Y)
+					gx[2].Set(p, c, gr.Z)
+				}
+			}
+			env.batches[bi] = batchData{indices: b.Indices, funcs: b.Funcs, x: x, gx: gx}
 		}
-		env.batches[bi] = batchData{indices: b.Indices, funcs: b.Funcs, x: x, gx: gx}
-	}
+	})
 	return env, nil
 }
 
@@ -94,36 +101,43 @@ func (e *gridEnv) addGridResponse(m *scf.Model, p1, h1 *linalg.Matrix, dir int, 
 	n1 := make([]float64, e.g.NumPoints())
 	gradN1 := make([]float64, e.g.NumPoints()) // ∇n⁽¹⁾ along dir (diagnostic)
 	g1s := make([]*linalg.Matrix, len(e.batches))
-	calls := make([]linalg.GemmCall, 0, len(e.batches))
-	for bi := range e.batches {
-		b := &e.batches[bi]
-		p1loc := b.gather(p1)
-		g1 := linalg.NewMatrix(b.x.Rows, b.x.Cols)
-		g1s[bi] = g1
-		calls = append(calls, linalg.GemmCall{
-			Alpha: 1, A: b.x, B: p1loc, C: g1,
-			// Offloaded as a fused density kernel: X is resident on the
-			// device, the aggregated P⁽¹⁾ share moves in, the reduced
-			// n⁽¹⁾ values move out.
-			TransferBytes: p1Share + 8*int64(b.x.Rows),
-		})
-	}
+	calls := make([]linalg.GemmCall, len(e.batches))
+	// Per-batch gathers write disjoint slots of calls/g1s — point-sharded
+	// over batches.
+	par.For("grid_gather", len(e.batches), 1, func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			b := &e.batches[bi]
+			p1loc := b.gather(p1)
+			g1 := linalg.NewMatrix(b.x.Rows, b.x.Cols)
+			g1s[bi] = g1
+			calls[bi] = linalg.GemmCall{
+				Alpha: 1, A: b.x, B: p1loc, C: g1,
+				// Offloaded as a fused density kernel: X is resident on the
+				// device, the aggregated P⁽¹⁾ share moves in, the reduced
+				// n⁽¹⁾ values move out.
+				TransferBytes: p1Share + 8*int64(b.x.Rows),
+			}
+		}
+	})
 	var extra []linalg.GemmCall
 	var naiveG []*linalg.Matrix
 	if !opt.StrengthReduction {
 		// Naive ∇n⁽¹⁾ ignores the symmetry of P⁽¹⁾ and computes the second
 		// contraction ∇X·P⁽¹⁾ with its own GEMM per batch (Fig. 6(b)).
 		naiveG = make([]*linalg.Matrix, len(e.batches))
-		for bi := range e.batches {
-			b := &e.batches[bi]
-			p1loc := b.gather(p1)
-			ng := linalg.NewMatrix(b.x.Rows, b.x.Cols)
-			naiveG[bi] = ng
-			extra = append(extra, linalg.GemmCall{
-				Alpha: 1, A: b.gx[dir], B: p1loc, C: ng,
-				TransferBytes: p1Share + 8*int64(b.x.Rows),
-			})
-		}
+		extra = make([]linalg.GemmCall, len(e.batches))
+		par.For("grid_gather", len(e.batches), 1, func(lo, hi int) {
+			for bi := lo; bi < hi; bi++ {
+				b := &e.batches[bi]
+				p1loc := b.gather(p1)
+				ng := linalg.NewMatrix(b.x.Rows, b.x.Cols)
+				naiveG[bi] = ng
+				extra[bi] = linalg.GemmCall{
+					Alpha: 1, A: b.gx[dir], B: p1loc, C: ng,
+					TransferBytes: p1Share + 8*int64(b.x.Rows),
+				}
+			}
+		})
 	}
 	all := append(calls, extra...)
 	met.GEMMsN1 += int64(len(all))
@@ -134,20 +148,24 @@ func (e *gridEnv) addGridResponse(m *scf.Model, p1, h1 *linalg.Matrix, dir int, 
 		phased.BeginPhase("n1")
 	}
 	exec.Execute(all)
-	for bi := range e.batches {
-		b := &e.batches[bi]
-		g1 := g1s[bi]
-		for p, idx := range b.indices {
-			n1[idx] += linalg.Dot(g1.Row(p), b.x.Row(p))
-			if opt.StrengthReduction {
-				// Symmetric P⁽¹⁾: ∇n⁽¹⁾ = 2·(X·P⁽¹⁾)∘∇X, no extra GEMM.
-				gradN1[idx] += 2 * linalg.Dot(g1.Row(p), b.gx[dir].Row(p))
-			} else {
-				gradN1[idx] += linalg.Dot(g1.Row(p), b.gx[dir].Row(p)) +
-					linalg.Dot(naiveG[bi].Row(p), b.x.Row(p))
+	// Batches partition the grid, so their point scatters into n1/gradN1
+	// touch disjoint indices — safe to shard over batches.
+	par.For("grid_scatter", len(e.batches), 1, func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			b := &e.batches[bi]
+			g1 := g1s[bi]
+			for p, idx := range b.indices {
+				n1[idx] += linalg.Dot(g1.Row(p), b.x.Row(p))
+				if opt.StrengthReduction {
+					// Symmetric P⁽¹⁾: ∇n⁽¹⁾ = 2·(X·P⁽¹⁾)∘∇X, no extra GEMM.
+					gradN1[idx] += 2 * linalg.Dot(g1.Row(p), b.gx[dir].Row(p))
+				} else {
+					gradN1[idx] += linalg.Dot(g1.Row(p), b.gx[dir].Row(p)) +
+						linalg.Dot(naiveG[bi].Row(p), b.x.Row(p))
+				}
 			}
 		}
-	}
+	})
 	// ∫∇n⁽¹⁾ d³r vanishes for a density that decays inside the box; the
 	// accumulated value is exposed as a pipeline health diagnostic.
 	for _, v := range gradN1 {
@@ -175,57 +193,64 @@ func (e *gridEnv) addGridResponse(m *scf.Model, p1, h1 *linalg.Matrix, dir int, 
 		bi   int
 		mats []*linalg.Matrix // result matrices to scatter
 	}
-	var h1calls []linalg.GemmCall
-	var h1batches []h1Batch
-	for bi := range e.batches {
-		b := &e.batches[bi]
-		npts, nloc := b.x.Rows, b.x.Cols
-		// V = w·v⁽¹⁾ on the batch points.
-		vv := make([]float64, npts)
-		for p, idx := range b.indices {
-			vv[p] = w * v1[idx]
-		}
-		if opt.StrengthReduction {
-			// Fig. 6(a): B = Xᵀ·V·(X/2 + ∇X_dir); H⁽¹⁾ block = B + Bᵀ.
-			y := linalg.NewMatrix(npts, nloc)
-			for p := 0; p < npts; p++ {
-				xr, gr, yr := b.x.Row(p), b.gx[dir].Row(p), y.Row(p)
-				for c := 0; c < nloc; c++ {
-					yr[c] = vv[p] * (0.5*xr[c] + gr[c])
-				}
-			}
-			bm := linalg.NewMatrix(nloc, nloc)
-			h1calls = append(h1calls, linalg.GemmCall{
-				TransA: true, Alpha: 1, A: b.x, B: y, C: bm,
-				// Fused Hamiltonian kernel: v⁽¹⁾ values in, aggregated
-				// H⁽¹⁾ share out.
-				TransferBytes: 8*int64(npts) + h1Share,
-			})
-			h1batches = append(h1batches, h1Batch{bi: bi, mats: []*linalg.Matrix{bm}})
-		} else {
-			// Naive: Xᵀ(VX) + Xᵀ(V∇X) + ∇Xᵀ(VX) — three GEMMs.
-			vx := linalg.NewMatrix(npts, nloc)
-			vgx := linalg.NewMatrix(npts, nloc)
-			for p := 0; p < npts; p++ {
-				xr, gr := b.x.Row(p), b.gx[dir].Row(p)
-				vxr, vgr := vx.Row(p), vgx.Row(p)
-				for c := 0; c < nloc; c++ {
-					vxr[c] = vv[p] * xr[c]
-					vgr[c] = vv[p] * gr[c]
-				}
-			}
-			m1 := linalg.NewMatrix(nloc, nloc)
-			m2 := linalg.NewMatrix(nloc, nloc)
-			m3 := linalg.NewMatrix(nloc, nloc)
-			tb := 8*int64(npts) + h1Share
-			h1calls = append(h1calls,
-				linalg.GemmCall{TransA: true, Alpha: 1, A: b.x, B: vx, C: m1, TransferBytes: tb},
-				linalg.GemmCall{TransA: true, Alpha: 1, A: b.x, B: vgx, C: m2, TransferBytes: tb},
-				linalg.GemmCall{TransA: true, Alpha: 1, A: b.gx[dir], B: vx, C: m3, TransferBytes: tb},
-			)
-			h1batches = append(h1batches, h1Batch{bi: bi, mats: []*linalg.Matrix{m1, m2, m3}})
-		}
+	// Each batch contributes a fixed number of calls (1 strength-reduced,
+	// 3 naive), so the call list is preallocated and every batch writes its
+	// own slots — sharded over batches like the density phase.
+	callsPerBatch := 1
+	if !opt.StrengthReduction {
+		callsPerBatch = 3
 	}
+	h1calls := make([]linalg.GemmCall, callsPerBatch*len(e.batches))
+	h1batches := make([]h1Batch, len(e.batches))
+	par.For("grid_h1_build", len(e.batches), 1, func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			b := &e.batches[bi]
+			npts, nloc := b.x.Rows, b.x.Cols
+			// V = w·v⁽¹⁾ on the batch points.
+			vv := make([]float64, npts)
+			for p, idx := range b.indices {
+				vv[p] = w * v1[idx]
+			}
+			if opt.StrengthReduction {
+				// Fig. 6(a): B = Xᵀ·V·(X/2 + ∇X_dir); H⁽¹⁾ block = B + Bᵀ.
+				y := linalg.NewMatrix(npts, nloc)
+				for p := 0; p < npts; p++ {
+					xr, gr, yr := b.x.Row(p), b.gx[dir].Row(p), y.Row(p)
+					for c := 0; c < nloc; c++ {
+						yr[c] = vv[p] * (0.5*xr[c] + gr[c])
+					}
+				}
+				bm := linalg.NewMatrix(nloc, nloc)
+				h1calls[bi] = linalg.GemmCall{
+					TransA: true, Alpha: 1, A: b.x, B: y, C: bm,
+					// Fused Hamiltonian kernel: v⁽¹⁾ values in, aggregated
+					// H⁽¹⁾ share out.
+					TransferBytes: 8*int64(npts) + h1Share,
+				}
+				h1batches[bi] = h1Batch{bi: bi, mats: []*linalg.Matrix{bm}}
+			} else {
+				// Naive: Xᵀ(VX) + Xᵀ(V∇X) + ∇Xᵀ(VX) — three GEMMs.
+				vx := linalg.NewMatrix(npts, nloc)
+				vgx := linalg.NewMatrix(npts, nloc)
+				for p := 0; p < npts; p++ {
+					xr, gr := b.x.Row(p), b.gx[dir].Row(p)
+					vxr, vgr := vx.Row(p), vgx.Row(p)
+					for c := 0; c < nloc; c++ {
+						vxr[c] = vv[p] * xr[c]
+						vgr[c] = vv[p] * gr[c]
+					}
+				}
+				m1 := linalg.NewMatrix(nloc, nloc)
+				m2 := linalg.NewMatrix(nloc, nloc)
+				m3 := linalg.NewMatrix(nloc, nloc)
+				tb := 8*int64(npts) + h1Share
+				h1calls[3*bi] = linalg.GemmCall{TransA: true, Alpha: 1, A: b.x, B: vx, C: m1, TransferBytes: tb}
+				h1calls[3*bi+1] = linalg.GemmCall{TransA: true, Alpha: 1, A: b.x, B: vgx, C: m2, TransferBytes: tb}
+				h1calls[3*bi+2] = linalg.GemmCall{TransA: true, Alpha: 1, A: b.gx[dir], B: vx, C: m3, TransferBytes: tb}
+				h1batches[bi] = h1Batch{bi: bi, mats: []*linalg.Matrix{m1, m2, m3}}
+			}
+		}
+	})
 	met.GEMMsH1 += int64(len(h1calls))
 	for i := range h1calls {
 		met.FLOPsH1 += h1calls[i].FLOPs()

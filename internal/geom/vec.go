@@ -1,8 +1,8 @@
 // Package geom provides 3-D vector arithmetic and linear-time neighbor
-// search (cell lists), the geometric substrate for fragmentation: detecting
-// covalent bonds, finding generalized-concap residue pairs within the
-// distance threshold λ, and enumerating residue–water and water–water
-// two-body interactions.
+// search (cell lists), the geometric substrate for fragmentation (paper
+// Eq. 1, §IV-B): detecting covalent bonds, finding generalized-concap
+// residue pairs within the distance threshold λ, and enumerating
+// residue–water and water–water two-body interactions.
 package geom
 
 import "math"

@@ -1,6 +1,10 @@
 package hessian
 
-import "sort"
+import (
+	"sort"
+
+	"qframan/internal/par"
+)
 
 // Sparse is a CSR (compressed sparse row) symmetric matrix — the global
 // mass-weighted Hessian. For a 100M-atom system the dense matrix would be
@@ -20,18 +24,23 @@ func (s *Sparse) Dim() int { return s.N }
 // NNZ returns the number of stored nonzeros.
 func (s *Sparse) NNZ() int { return len(s.Val) }
 
-// MulVec computes y = S·x.
+// MulVec computes y = S·x, row-sharded across the kernel pool. Each row's
+// accumulation runs serially in column order exactly as before, so results
+// are bit-identical to the serial product at any width — the property the
+// Lanczos recurrence's bit-reproducibility rests on.
 func (s *Sparse) MulVec(x, y []float64) {
 	if len(x) != s.N || len(y) != s.N {
 		panic("hessian: MulVec dimension mismatch")
 	}
-	for i := 0; i < s.N; i++ {
-		var acc float64
-		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
-			acc += s.Val[k] * x[s.Col[k]]
+	par.For("spmv", s.N, 2048, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var acc float64
+			for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+				acc += s.Val[k] * x[s.Col[k]]
+			}
+			y[i] = acc
 		}
-		y[i] = acc
-	}
+	})
 }
 
 // At returns element (i,j); O(log nnz-per-row).

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"qframan/internal/linalg"
+	"qframan/internal/par"
 )
 
 // Operator is a symmetric linear operator (the sparse mass-weighted
@@ -70,14 +71,21 @@ func Run(op Operator, d []float64, opt Options) (*Tridiagonal, float64, error) {
 	if opt.K <= 0 {
 		return nil, 0, fmt.Errorf("lanczos: K must be positive")
 	}
-	norm := linalg.Norm2(d)
+	// All recurrence reductions go through the pool's deterministic chunked
+	// forms: below the chunk threshold they are exactly the serial loops;
+	// above it the fixed chunk layout keeps them width-invariant, so the
+	// recurrence (and the Ritz nodes built from it) is bit-reproducible for
+	// any kernel-thread count.
+	norm := math.Sqrt(par.SumSq(d))
 	if norm == 0 {
 		return nil, 0, fmt.Errorf("lanczos: zero start vector")
 	}
 	q := make([]float64, n)
-	for i, v := range d {
-		q[i] = v / norm
-	}
+	par.For("lanczos_vec", n, 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			q[i] = d[i] / norm
+		}
+	})
 	var qs [][]float64 // stored vectors for reorthogonalization
 	if opt.Reorthogonalize {
 		qs = append(qs, append([]float64(nil), q...))
@@ -88,32 +96,36 @@ func Run(op Operator, d []float64, opt Options) (*Tridiagonal, float64, error) {
 	var betaPrev float64
 	for step := 0; step < opt.K; step++ {
 		op.MulVec(q, w)
-		alpha := linalg.Dot(q, w)
+		alpha := par.Dot(q, w)
 		t.Alpha = append(t.Alpha, alpha)
-		for i := range w {
-			w[i] -= alpha*q[i] + betaPrev*qPrev[i]
-		}
+		par.For("lanczos_vec", n, 4096, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				w[i] -= alpha*q[i] + betaPrev*qPrev[i]
+			}
+		})
 		if opt.Reorthogonalize {
 			// Two passes of classical Gram–Schmidt against all stored q's.
 			for pass := 0; pass < 2; pass++ {
 				for _, qi := range qs {
-					c := linalg.Dot(w, qi)
+					c := par.Dot(w, qi)
 					if c != 0 {
 						linalg.Axpy(-c, qi, w)
 					}
 				}
 			}
 		}
-		beta := linalg.Norm2(w)
+		beta := math.Sqrt(par.SumSq(w))
 		t.Beta = append(t.Beta, beta)
 		if beta < 1e-13*math.Max(1, math.Abs(alpha)) {
 			// Invariant subspace: the measure is fully resolved.
 			break
 		}
 		qPrev, q = q, qPrev
-		for i := range q {
-			q[i] = w[i] / beta
-		}
+		par.For("lanczos_vec", n, 4096, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				q[i] = w[i] / beta
+			}
+		})
 		if opt.Reorthogonalize {
 			qs = append(qs, append([]float64(nil), q...))
 		}
@@ -202,17 +214,20 @@ func SpectralDensity(t *Tridiagonal, dNorm float64, xs []float64, sigma float64,
 	out := make([]float64, len(xs))
 	norm2 := dNorm * dNorm
 	pref := 1 / (math.Sqrt(2*math.Pi) * sigma)
-	for xi, x := range xs {
-		var s float64
-		for j := range nodes {
-			dx := (x - nodes[j]) / sigma
-			if dx > 8 || dx < -8 {
-				continue
+	par.For("lanczos_density", len(xs), 64, func(lo, hi int) {
+		for xi := lo; xi < hi; xi++ {
+			x := xs[xi]
+			var s float64
+			for j := range nodes {
+				dx := (x - nodes[j]) / sigma
+				if dx > 8 || dx < -8 {
+					continue
+				}
+				s += weights[j] * math.Exp(-0.5*dx*dx)
 			}
-			s += weights[j] * math.Exp(-0.5*dx*dx)
+			out[xi] = norm2 * pref * s
 		}
-		out[xi] = norm2 * pref * s
-	}
+	})
 	return out
 }
 

@@ -1,6 +1,10 @@
 package linalg
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"qframan/internal/par"
+)
 
 // Ops tracks BLAS-level operation counts and floating-point operation counts.
 // The DFPT engine uses these counters to demonstrate the symmetry-aware
@@ -36,10 +40,27 @@ var DefaultOps Ops
 // GemmFLOPs returns the canonical FLOP count of a GEMM of shape (m×k)·(k×n).
 func GemmFLOPs(m, k, n int) int64 { return 2 * int64(m) * int64(k) * int64(n) }
 
+// gemmMinRows returns the minimum output-row chunk of a parallel GEMM so a
+// chunk carries at least ~16 kFLOP (a few µs of fused multiply-adds) —
+// below that the dispatch overhead beats the win, above it even the small
+// per-fragment SCF/DFPT matrices (nao ≈ 10–30) split into a couple of
+// chunks. Pure function of the problem shape, so the chunk layout (and with
+// it bit-determinism) never depends on the worker count.
+func gemmMinRows(k, n int) int {
+	rowFLOPs := 2 * k * n
+	if rowFLOPs <= 0 {
+		return 1
+	}
+	return 1 + 16*1024/rowFLOPs
+}
+
 // Gemm computes C = alpha·op(A)·op(B) + beta·C where op is identity or
 // transpose according to transA/transB. Shapes are validated against C.
-// The kernel uses an ikj loop order over the untransposed layout for
-// cache-friendly access.
+// All four trans cases iterate output rows in the outer loop, so the kernel
+// row-shards across the par pool; each output element accumulates its k
+// terms in ascending order regardless of sharding, which keeps results
+// bit-identical to the serial kernel at any width. The row chunks double as
+// cache tiles: a chunk's slice of A and C stays resident while B streams.
 func Gemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix, ops *Ops) {
 	am, ak := a.Rows, a.Cols
 	if transA {
@@ -64,65 +85,73 @@ func Gemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Mat
 		c.Scale(beta)
 	}
 
+	minRows := gemmMinRows(ak, bn)
 	switch {
 	case !transA && !transB:
-		for i := 0; i < am; i++ {
-			arow := a.Row(i)
-			crow := c.Row(i)
-			for k := 0; k < ak; k++ {
-				v := alpha * arow[k]
-				if v == 0 {
-					continue
-				}
-				brow := b.Row(k)
-				for j, bv := range brow {
-					crow[j] += v * bv
-				}
-			}
-		}
-	case transA && !transB:
-		// C[i][j] += alpha * A[k][i] * B[k][j]
-		for k := 0; k < ak; k++ {
-			arow := a.Row(k)
-			brow := b.Row(k)
-			for i := 0; i < am; i++ {
-				v := alpha * arow[i]
-				if v == 0 {
-					continue
-				}
+		par.For("gemm_nn", am, minRows, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				arow := a.Row(i)
 				crow := c.Row(i)
-				for j, bv := range brow {
-					crow[j] += v * bv
+				for k := 0; k < ak; k++ {
+					v := alpha * arow[k]
+					if v == 0 {
+						continue
+					}
+					brow := b.Row(k)
+					for j, bv := range brow {
+						crow[j] += v * bv
+					}
 				}
 			}
-		}
+		})
+	case transA && !transB:
+		// C[i][j] += alpha * A[k][i] * B[k][j], k ascending per element.
+		par.For("gemm_tn", am, minRows, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				crow := c.Row(i)
+				for k := 0; k < ak; k++ {
+					v := alpha * a.Data[k*a.Cols+i]
+					if v == 0 {
+						continue
+					}
+					brow := b.Row(k)
+					for j, bv := range brow {
+						crow[j] += v * bv
+					}
+				}
+			}
+		})
 	case !transA && transB:
 		// C[i][j] += alpha * A[i][k] * B[j][k]
-		for i := 0; i < am; i++ {
-			arow := a.Row(i)
-			crow := c.Row(i)
-			for j := 0; j < bn; j++ {
-				brow := b.Row(j)
-				var s float64
-				for k, av := range arow {
-					s += av * brow[k]
+		par.For("gemm_nt", am, minRows, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				arow := a.Row(i)
+				crow := c.Row(i)
+				for j := 0; j < bn; j++ {
+					brow := b.Row(j)
+					var s float64
+					for k, av := range arow {
+						s += av * brow[k]
+					}
+					crow[j] += alpha * s
 				}
-				crow[j] += alpha * s
 			}
-		}
+		})
 	default: // transA && transB
 		// C[i][j] += alpha * A[k][i] * B[j][k]
-		for i := 0; i < am; i++ {
-			crow := c.Row(i)
-			for j := 0; j < bn; j++ {
-				brow := b.Row(j)
-				var s float64
-				for k := 0; k < ak; k++ {
-					s += a.Data[k*a.Cols+i] * brow[k]
+		par.For("gemm_tt", am, minRows, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				crow := c.Row(i)
+				for j := 0; j < bn; j++ {
+					brow := b.Row(j)
+					var s float64
+					for k := 0; k < ak; k++ {
+						s += a.Data[k*a.Cols+i] * brow[k]
+					}
+					crow[j] += alpha * s
 				}
-				crow[j] += alpha * s
 			}
-		}
+		})
 	}
 }
 
@@ -163,20 +192,28 @@ func Gemv(trans bool, alpha float64, a *Matrix, x []float64, beta float64, y []f
 	} else if beta != 1 {
 		Scal(beta, y)
 	}
+	minRows := 1 + 16*1024/(n+1)
 	if !trans {
-		for i := 0; i < m; i++ {
-			y[i] += alpha * Dot(a.Row(i), x)
-		}
+		par.For("gemv_n", m, minRows, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				y[i] += alpha * Dot(a.Row(i), x)
+			}
+		})
 	} else {
-		for k := 0; k < a.Rows; k++ {
-			v := alpha * x[k]
-			if v == 0 {
-				continue
+		// y[j] += alpha * Σ_k x[k]·A[k][j]; sharded over output index j,
+		// with the same ascending-k accumulation and x[k]==0 skip as the
+		// serial scatter form, so results match it bit for bit.
+		par.For("gemv_t", m, minRows, func(lo, hi int) {
+			for k := 0; k < a.Rows; k++ {
+				v := alpha * x[k]
+				if v == 0 {
+					continue
+				}
+				row := a.Row(k)
+				for j := lo; j < hi; j++ {
+					y[j] += v * row[j]
+				}
 			}
-			row := a.Row(k)
-			for j, av := range row {
-				y[j] += v * av
-			}
-		}
+		})
 	}
 }

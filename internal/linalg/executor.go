@@ -1,5 +1,7 @@
 package linalg
 
+import "qframan/internal/par"
+
 // GemmCall is one deferred GEMM invocation: C = alpha·op(A)·op(B) + beta·C.
 // The DFPT grid phases produce thousands of small, mutually independent
 // GemmCalls per cycle (one or a few per grid batch); collecting them and
@@ -60,10 +62,16 @@ type HostExecutor struct {
 	Ops *Ops
 }
 
-// Execute runs the calls sequentially.
+// Execute runs the calls, fanning independent GEMMs across the kernel pool.
+// Calls write disjoint C matrices (the DFPT grid phases build one per batch)
+// and each Gemm is bit-deterministic on its own, so batch-level fan-out
+// cannot change results. Inner Gemm sharding stays available for the tail:
+// token acquisition nests without blocking.
 func (h *HostExecutor) Execute(calls []GemmCall) {
-	for i := range calls {
-		c := &calls[i]
-		Gemm(c.TransA, c.TransB, c.Alpha, c.A, c.B, c.Beta, c.C, h.Ops)
-	}
+	par.For("gemm_batch", len(calls), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := &calls[i]
+			Gemm(c.TransA, c.TransB, c.Alpha, c.A, c.B, c.Beta, c.C, h.Ops)
+		}
+	})
 }

@@ -5,8 +5,11 @@
 // factorization for the generalized eigenproblem HC = SCε.
 //
 // Everything is pure Go over float64. The kernels deliberately mirror the
-// BLAS call structure of the paper's DFPT engine so that "number of GEMM
-// invocations" and "FLOPs per phase" are meaningful measured quantities.
+// BLAS call structure of the paper's DFPT engine — the batched grid GEMMs
+// of §V-C and the strength-reduced contractions of §V-D (Fig. 6) — so that
+// "number of GEMM invocations" and "FLOPs per phase" are meaningful
+// measured quantities. The hot kernels shard across internal/par's
+// deterministic pool; see Gemm for the bit-identity argument.
 package linalg
 
 import (

@@ -1,0 +1,121 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qframan/internal/par"
+)
+
+// TestGemmWidthInvariance is the kernel-drift gate run by CI at widths 1
+// and 4: every trans case of Gemm (and both Gemv forms) must produce
+// bit-identical output at any kernel width — far stricter than the 5% drift
+// budget, and exactly what the row-sharded design guarantees.
+func TestGemmWidthInvariance(t *testing.T) {
+	shapes := [][3]int{{216, 40, 40}, {128, 128, 128}, {1000, 32, 32}, {7, 5, 3}}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		for _, trans := range [][2]bool{{false, false}, {true, false}, {false, true}, {true, true}} {
+			transA, transB := trans[0], trans[1]
+			rng := rand.New(rand.NewSource(7))
+			ar, ac := m, k
+			if transA {
+				ar, ac = k, m
+			}
+			br, bc := k, n
+			if transB {
+				br, bc = n, k
+			}
+			a := randomMatrix(rng, ar, ac)
+			b := randomMatrix(rng, br, bc)
+			c0 := randomMatrix(rng, m, n)
+
+			var ref *Matrix
+			for _, w := range []int{1, 4} {
+				par.SetBudget(w)
+				c := NewMatrix(m, n)
+				copy(c.Data, c0.Data)
+				Gemm(transA, transB, 1.25, a, b, 0.5, c, nil)
+				if ref == nil {
+					ref = c
+					continue
+				}
+				for i, v := range c.Data {
+					if math.Float64bits(v) != math.Float64bits(ref.Data[i]) {
+						t.Fatalf("gemm %dx%dx%d transA=%v transB=%v width %d: element %d drifts (%g vs %g)",
+							m, k, n, transA, transB, w, i, v, ref.Data[i])
+					}
+				}
+			}
+			par.SetBudget(0)
+		}
+	}
+}
+
+func TestGemvWidthInvariance(t *testing.T) {
+	defer par.SetBudget(0)
+	rng := rand.New(rand.NewSource(11))
+	a := randomMatrix(rng, 300, 200)
+	for _, trans := range []bool{false, true} {
+		nx, ny := a.Cols, a.Rows
+		if trans {
+			nx, ny = a.Rows, a.Cols
+		}
+		x := make([]float64, nx)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		var ref []float64
+		for _, w := range []int{1, 4} {
+			par.SetBudget(w)
+			y := make([]float64, ny)
+			Gemv(trans, 1.5, a, x, 0, y, nil)
+			if ref == nil {
+				ref = y
+				continue
+			}
+			for i, v := range y {
+				if math.Float64bits(v) != math.Float64bits(ref[i]) {
+					t.Fatalf("gemv trans=%v width %d: element %d drifts", trans, w, i)
+				}
+			}
+		}
+	}
+}
+
+// TestExecuteWidthInvariance checks the batch fan-out path: a HostExecutor
+// run of many independent GemmCalls matches the serial loop exactly.
+func TestExecuteWidthInvariance(t *testing.T) {
+	defer par.SetBudget(0)
+	rng := rand.New(rand.NewSource(13))
+	const nc = 24
+	mk := func() ([]GemmCall, []*Matrix) {
+		calls := make([]GemmCall, nc)
+		outs := make([]*Matrix, nc)
+		for i := range calls {
+			a := randomMatrix(rng, 30, 20)
+			b := randomMatrix(rng, 20, 25)
+			c := NewMatrix(30, 25)
+			calls[i] = GemmCall{Alpha: 1, A: a, B: b, C: c}
+			outs[i] = c
+		}
+		return calls, outs
+	}
+	rng = rand.New(rand.NewSource(13))
+	calls1, outs1 := mk()
+	rng = rand.New(rand.NewSource(13))
+	calls4, outs4 := mk()
+
+	par.SetBudget(1)
+	(&HostExecutor{}).Execute(calls1)
+	par.SetBudget(4)
+	(&HostExecutor{}).Execute(calls4)
+	for i := range outs1 {
+		for j, v := range outs1[i].Data {
+			if math.Float64bits(v) != math.Float64bits(outs4[i].Data[j]) {
+				t.Fatalf("batch call %d element %d drifts across widths", i, j)
+			}
+		}
+	}
+}

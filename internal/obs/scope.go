@@ -39,10 +39,23 @@ const (
 	MetricSCFIterations   = "scf_iterations"
 	MetricSCFSolves       = "scf_solves_total"
 	MetricDFPTCycles      = "dfpt_cycles_total"
+	// Kernel-pool metrics recorded by internal/par (see DESIGN.md §7).
+	MetricParJobs        = "par_jobs_total"
+	MetricParInline      = "par_inline_total"
+	MetricParWorkersBusy = "par_workers_busy"
+	MetricParJobWidth    = "par_job_width"
 	// Per-phase duration histograms: dfpt_phase_<name>_seconds.
 	metricPhasePrefix = "dfpt_phase_"
 	metricPhaseSuffix = "_seconds"
+	// Per-kernel shard-drain histograms: par_shard_<kernel>_seconds.
+	metricShardPrefix = "par_shard_"
 )
+
+// ParShardMetricName returns the drain-duration histogram name of one
+// named kernel of the par pool.
+func ParShardMetricName(kernel string) string {
+	return metricShardPrefix + kernel + metricPhaseSuffix
+}
 
 // PhaseMetricName returns the histogram name of one DFPT phase.
 func PhaseMetricName(p Phase) string {

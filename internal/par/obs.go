@@ -1,0 +1,59 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"qframan/internal/obs"
+)
+
+// obsHandles caches the pool's pre-resolved instruments so hot kernels never
+// take the registry's map lock (same discipline as obs.Hot).
+type obsHandles struct {
+	jobs   *obs.Counter   // parallel jobs dispatched to the pool
+	inline *obs.Counter   // kernel calls that ran inline (1 chunk / no tokens)
+	busy   *obs.Gauge     // helper workers currently running kernel chunks
+	width  *obs.Histogram // workers per parallel job (helpers + caller)
+
+	mu     sync.Mutex
+	shards map[string]*obs.Histogram // per-kernel drain durations
+	reg    *obs.Registry
+}
+
+var obsState atomic.Pointer[obsHandles]
+
+// SetObs points the pool's metrics at a registry; nil detaches. Counters:
+// par_jobs_total, par_inline_total; gauge: par_workers_busy; histograms:
+// par_job_width and par_shard_<kernel>_seconds (per-worker drain time, one
+// observation per participating worker per job).
+func SetObs(r *obs.Registry) {
+	if r == nil {
+		obsState.Store(nil)
+		return
+	}
+	obsState.Store(&obsHandles{
+		jobs:   r.Counter(obs.MetricParJobs),
+		inline: r.Counter(obs.MetricParInline),
+		busy:   r.Gauge(obs.MetricParWorkersBusy),
+		width:  r.Histogram(obs.MetricParJobWidth, obs.CountBuckets),
+		shards: make(map[string]*obs.Histogram),
+		reg:    r,
+	})
+}
+
+func (o *obsHandles) shard(name string) *obs.Histogram {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	h := o.shards[name]
+	if h == nil {
+		h = o.reg.Histogram(obs.ParShardMetricName(name), obs.DurationBuckets)
+		o.shards[name] = h
+	}
+	return h
+}
+
+func obsInline() {
+	if o := obsState.Load(); o != nil {
+		o.inline.Inc()
+	}
+}

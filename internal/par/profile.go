@@ -1,0 +1,133 @@
+package par
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Profile captures per-chunk kernel timings for the modeled-scaling
+// experiment (EXPERIMENTS.md "Kernel scaling"). While capture is active,
+// every For/ReduceSum runs its chunks serially on the caller, timing each
+// chunk individually; Replay then computes the makespan a work-conserving
+// w-worker pool would achieve on exactly those chunks. This is the same
+// measure-small/model-large methodology as the simhpc scale experiments —
+// it models intra-kernel scaling on hosts with fewer cores than the target
+// width, with per-chunk costs that are measured, not synthesized.
+type Profile struct {
+	mu   sync.Mutex
+	jobs []job
+}
+
+type job struct {
+	name   string
+	chunks []time.Duration
+}
+
+var profile atomic.Pointer[Profile]
+
+// StartProfile begins serial per-chunk capture on this process's kernels.
+// Not for production paths: kernels run serially while active.
+func StartProfile() *Profile {
+	p := &Profile{}
+	profile.Store(p)
+	return p
+}
+
+// StopProfile ends capture.
+func StopProfile() { profile.Store(nil) }
+
+func (p *Profile) add(name string, durs []time.Duration) {
+	p.mu.Lock()
+	p.jobs = append(p.jobs, job{name: name, chunks: durs})
+	p.mu.Unlock()
+}
+
+// Jobs returns the number of captured parallel regions.
+func (p *Profile) Jobs() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.jobs)
+}
+
+// Chunks returns the total number of captured chunks.
+func (p *Profile) Chunks() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, j := range p.jobs {
+		n += len(j.chunks)
+	}
+	return n
+}
+
+// SerialSeconds returns the summed duration of every captured chunk — the
+// kernel time a 1-thread run spends inside parallel regions.
+func (p *Profile) SerialSeconds() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var s time.Duration
+	for _, j := range p.jobs {
+		for _, d := range j.chunks {
+			s += d
+		}
+	}
+	return s.Seconds()
+}
+
+// Replay returns the modeled kernel-region time at width w: for each
+// captured job, chunks are assigned longest-processing-time-first to the
+// least-loaded of w workers (the greedy schedule a work-conserving pool
+// converges to), and the job costs its makespan. Job-to-job ordering is
+// serial, as in the real pipeline where regions are separated by serial
+// phases. w <= 1 returns SerialSeconds.
+func (p *Profile) Replay(w int) float64 {
+	if w <= 1 {
+		return p.SerialSeconds()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total time.Duration
+	load := make([]time.Duration, w)
+	for _, j := range p.jobs {
+		chunks := append([]time.Duration(nil), j.chunks...)
+		sort.Slice(chunks, func(a, b int) bool { return chunks[a] > chunks[b] })
+		for i := range load {
+			load[i] = 0
+		}
+		for _, d := range chunks {
+			mi := 0
+			for i := 1; i < w; i++ {
+				if load[i] < load[mi] {
+					mi = i
+				}
+			}
+			load[mi] += d
+		}
+		makespan := load[0]
+		for _, l := range load[1:] {
+			if l > makespan {
+				makespan = l
+			}
+		}
+		total += makespan
+	}
+	return total.Seconds()
+}
+
+// ByKernel returns the captured serial seconds per kernel name, for the
+// experiment's breakdown table.
+func (p *Profile) ByKernel() map[string]float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]float64)
+	for _, j := range p.jobs {
+		var s time.Duration
+		for _, d := range j.chunks {
+			s += d
+		}
+		out[j.name] += s.Seconds()
+	}
+	return out
+}

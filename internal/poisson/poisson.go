@@ -1,7 +1,7 @@
 // Package poisson solves the electrostatic Poisson equation ∇²v = −4πρ on a
 // uniform grid — the third phase of the paper's per-displacement DFPT cycle
-// (the response electrostatic potential v⁽¹⁾_es from the response density
-// n⁽¹⁾). The solver is a matrix-free conjugate-gradient iteration over the
+// (§V-A: the response electrostatic potential v⁽¹⁾_es from the response
+// density n⁽¹⁾). The solver is a matrix-free conjugate-gradient iteration over the
 // 7-point Laplacian with Dirichlet boundary values supplied by a
 // monopole+dipole multipole expansion of the charge on the grid.
 package poisson
@@ -12,6 +12,7 @@ import (
 
 	"qframan/internal/geom"
 	"qframan/internal/grid"
+	"qframan/internal/par"
 )
 
 // Options controls the CG iteration.
@@ -54,12 +55,16 @@ func Solve(g *grid.Grid, rho []float64, opt Options) ([]float64, int, error) {
 	}
 
 	// applyA computes (−∇² u) at interior points, treating u as zero on the
-	// boundary (boundary contribution is moved to b).
+	// boundary (boundary contribution is moved to b). Sharded over interior
+	// points; out[k] depends only on u, so any width gives identical bits.
 	applyA := func(u, out []float64) {
 		sx, sy, sz := 1, g.Nx, g.Nx*g.Ny
-		for k, idx := range interior {
-			out[k] = (6*u[idx] - u[idx-sx] - u[idx+sx] - u[idx-sy] - u[idx+sy] - u[idx-sz] - u[idx+sz]) / h2
-		}
+		par.For("poisson_stencil", len(interior), stencilChunk, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				idx := interior[k]
+				out[k] = (6*u[idx] - u[idx-sx] - u[idx+sx] - u[idx-sy] - u[idx+sy] - u[idx-sz] - u[idx+sz]) / h2
+			}
+		})
 	}
 
 	// Build b = 4πρ + (1/h²)·(boundary neighbor values).
@@ -101,29 +106,34 @@ func Solve(g *grid.Grid, rho []float64, opt Options) ([]float64, int, error) {
 		if math.Sqrt(rr)/bNorm < opt.Tol {
 			break
 		}
-		// au = A p (via the full-array stencil with zero boundary).
-		for i := range full {
-			full[i] = 0
-		}
-		for k, idx := range interior {
-			full[idx] = p[k]
-		}
+		// au = A p (via the full-array stencil with zero boundary). The
+		// scatter overwrites every interior slot and never touches boundary
+		// slots, which stay zero from allocation — no per-iteration clear.
+		par.For("poisson_scatter", len(interior), stencilChunk, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				full[interior[k]] = p[k]
+			}
+		})
 		applyA(full, au)
 		pap := dot(p, au)
 		if pap <= 0 {
 			return nil, iter, fmt.Errorf("poisson: CG breakdown (pᵀAp = %g)", pap)
 		}
 		alpha := rr / pap
-		for k := range u {
-			u[k] += alpha * p[k]
-			r[k] -= alpha * au[k]
-		}
+		par.For("poisson_axpy", nb, stencilChunk, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				u[k] += alpha * p[k]
+				r[k] -= alpha * au[k]
+			}
+		})
 		rrNew := dot(r, r)
 		beta := rrNew / rr
 		rr = rrNew
-		for k := range p {
-			p[k] = r[k] + beta*p[k]
-		}
+		par.For("poisson_axpy", nb, stencilChunk, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				p[k] = r[k] + beta*p[k]
+			}
+		})
 	}
 	if math.Sqrt(rr)/bNorm >= opt.Tol {
 		return nil, iter, fmt.Errorf("poisson: CG did not converge in %d iterations (rel res %g)", iter, math.Sqrt(rr)/bNorm)
@@ -181,12 +191,18 @@ func setBoundary(g *grid.Grid, rho, v []float64) {
 	}
 }
 
-func dot(a, b []float64) float64 {
-	var s float64
-	for i, v := range a {
-		s += v * b[i]
-	}
-	return s
-}
+// stencilChunk is the minimum shard of grid points per worker; below it the
+// memory-bound stencil and axpy loops don't amortize a dispatch. Fragment
+// grids are small (10³–10⁵ interior points), so the floor also sets how many
+// chunks — and hence how much intra-solve parallelism — a CG iteration has:
+// 512 points is ~µs of stencil work, comfortably above the ~0.5µs
+// parked-worker dispatch cost, and gives even a water monomer's ~10⁴-point
+// grid enough chunks to occupy an 8-wide pool.
+const stencilChunk = 512
 
-func norm(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+// dot and norm use the pool's deterministic chunked reduction: partials are
+// combined in fixed chunk order, so CG iterates are bit-identical for any
+// kernel width (DESIGN.md §7).
+func dot(a, b []float64) float64 { return par.Dot(a, b) }
+
+func norm(a []float64) float64 { return math.Sqrt(par.SumSq(a)) }

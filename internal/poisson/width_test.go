@@ -1,0 +1,42 @@
+package poisson
+
+import (
+	"math"
+	"testing"
+
+	"qframan/internal/geom"
+	"qframan/internal/grid"
+	"qframan/internal/par"
+)
+
+// TestSolveWidthInvariance is the Poisson half of CI's kernel-drift gate:
+// the CG solution on the benchmark problem must be bit-identical at kernel
+// widths 1 and 4 — the chunked dot/norm reductions combine their partials
+// in fixed chunk order, so the entire iteration is width-invariant.
+func TestSolveWidthInvariance(t *testing.T) {
+	defer par.SetBudget(0)
+	g := grid.Cover([]geom.Vec3{{}}, 8.0, 0.6)
+	rho := gaussianCharge(g, geom.Vec3{}, 1.0, 1.0)
+
+	var ref []float64
+	refIters := 0
+	for _, w := range []int{1, 4} {
+		par.SetBudget(w)
+		v, iters, err := Solve(g, rho, DefaultOptions())
+		if err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		if ref == nil {
+			ref, refIters = v, iters
+			continue
+		}
+		if iters != refIters {
+			t.Fatalf("width %d took %d CG iterations, width 1 took %d", w, iters, refIters)
+		}
+		for i := range v {
+			if math.Float64bits(v[i]) != math.Float64bits(ref[i]) {
+				t.Fatalf("width %d: potential[%d] drifts (%g vs %g)", w, i, v[i], ref[i])
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"qframan/internal/basis"
 	"qframan/internal/geom"
+	"qframan/internal/par"
 )
 
 // Forces returns the analytic nuclear forces −dE/dR (hartree/bohr) for a
@@ -18,21 +19,37 @@ func (m *Model) Forces(res *Result) []geom.Vec3 {
 
 	v := m.sccPotential(res.DeltaQ)
 	n := m.Basis.Size()
-	for i := 0; i < n; i++ {
-		fi := &m.Basis.Funcs[i]
-		for j := i + 1; j < n; j++ {
-			fj := &m.Basis.Funcs[j]
-			a, b := fi.Atom, fj.Atom
-			if a == b {
-				continue
+	// The O(n²) overlap-derivative pair sum dominates displacement
+	// post-processing. It shards over basis rows i with one gradient
+	// accumulator per chunk; partials are combined in ascending chunk order,
+	// so the result is bit-identical for any kernel width (DESIGN.md §7).
+	// The pool's dynamic chunk cursor absorbs the triangular row imbalance.
+	const pairChunk = 16
+	partials := make([][]geom.Vec3, par.Chunks(n, pairChunk))
+	par.ForChunks("scf_forces", n, pairChunk, func(c, lo, hi int) {
+		g := make([]geom.Vec3, na)
+		for i := lo; i < hi; i++ {
+			fi := &m.Basis.Funcs[i]
+			for j := i + 1; j < n; j++ {
+				fj := &m.Basis.Funcs[j]
+				a, b := fi.Atom, fj.Atom
+				if a == b {
+					continue
+				}
+				ds := basis.OverlapDeriv(fi, fj) // d S_ij / d R_a
+				// Both (i,j) and (j,i) contribute identically: factor 2.
+				coeff := 2 * (res.P.At(i, j)*0.5*wolfsbergK*(fi.OnsiteE+fj.OnsiteE) -
+					res.W.At(i, j) +
+					res.P.At(i, j)*0.5*(v[a]+v[b]))
+				g[a] = g[a].Add(ds.Scale(coeff))
+				g[b] = g[b].Sub(ds.Scale(coeff))
 			}
-			ds := basis.OverlapDeriv(fi, fj) // d S_ij / d R_a
-			// Both (i,j) and (j,i) contribute identically: factor 2.
-			coeff := 2 * (res.P.At(i, j)*0.5*wolfsbergK*(fi.OnsiteE+fj.OnsiteE) -
-				res.W.At(i, j) +
-				res.P.At(i, j)*0.5*(v[a]+v[b]))
-			grad[a] = grad[a].Add(ds.Scale(coeff))
-			grad[b] = grad[b].Sub(ds.Scale(coeff))
+		}
+		partials[c] = g
+	})
+	for _, g := range partials { // ordered combine: chunk 0, 1, 2, …
+		for a := range grad {
+			grad[a] = grad[a].Add(g[a])
 		}
 	}
 

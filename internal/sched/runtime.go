@@ -12,6 +12,7 @@ import (
 	"qframan/internal/fragment"
 	"qframan/internal/hessian"
 	"qframan/internal/obs"
+	"qframan/internal/par"
 	"qframan/internal/scf"
 	"qframan/internal/store"
 )
@@ -774,6 +775,13 @@ func runFragmentWorkers(f *fragment.Fragment, m *scf.Model, opt Options, jobOpt 
 		}
 	}
 	results := make([]*hessian.DisplacementResult, len(jobs))
+	// Fragment-level and kernel-level parallelism share one token budget:
+	// each displacement worker holds a token while this fragment is in
+	// flight, so with many fragments active the inner kernels run narrow,
+	// and in the straggler tail (few fragments, idle cores) they widen —
+	// the adaptive split of ISSUE 5 without any explicit mode switch.
+	release := par.Reserve(opt.WorkersPerLeader)
+	defer release()
 	errs := make([]error, opt.WorkersPerLeader)
 	var wg sync.WaitGroup
 	for w := 0; w < opt.WorkersPerLeader; w++ {

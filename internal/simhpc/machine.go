@@ -1,6 +1,7 @@
 // Package simhpc is a discrete-event simulator of the two supercomputers
-// the paper evaluates on — ORISE (6,000 nodes × 4 GPUs, 32 processes/node)
-// and the new Sunway (96,000 SW26010-pro nodes, 6 processes/node) — running
+// the paper evaluates on (§V-B) — ORISE (6,000 nodes × 4 GPUs, 32
+// processes/node) and the new Sunway (96,000 SW26010-pro nodes, 6
+// processes/node) — running
 // the QF-RAMAN fragment workload under the system-size-sensitive load
 // balancer. The simulator executes the *actual* packing policy from
 // internal/sched over hundreds of thousands of virtual processes and

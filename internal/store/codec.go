@@ -4,7 +4,7 @@
 // rigid-motion-canonicalized quantized geometry, and the full job options),
 // and an append-only write-ahead manifest over atomically renamed record
 // files. Together these give the production property the paper's 33.8M-
-// fragment runs need: a run killed at any instant resumes by replaying the
+// fragment runs (§VI-A) need: a run killed at any instant resumes by replaying the
 // manifest and recomputing only missing or corrupt fragments, and the
 // near-identical water fragments that dominate a solvated system collapse
 // onto a single stored record within and across runs.

@@ -1,7 +1,7 @@
 // Package structure models molecular systems — atoms, residues, proteins,
 // and water boxes — and provides the synthetic structure generators that
 // stand in for the paper's SARS-CoV-2 spike protein (PDB 7DF3) and its
-// 101,299,008-atom explicit water box. The generators reproduce the
+// 101,299,008-atom explicit water box (§VI-A). The generators reproduce the
 // statistical properties that drive the paper's algorithms: residue/fragment
 // size distributions, covalent topology, and solvent pair densities.
 package structure

@@ -1,0 +1,19 @@
+#!/bin/sh
+# check_pkgdocs.sh — CI gate: every package must carry a package doc comment
+# ("// Package <name> ..." for libraries, "// Command <name> ..." for mains)
+# so godoc explains which part of the paper each layer reproduces.
+set -eu
+
+fail=0
+for dir in internal/*/ cmd/*/; do
+    name=$(basename "$dir")
+    if ! grep -rql --include='*.go' -E "^// (Package|Command) $name" "$dir"; then
+        echo "undocumented package: $dir (no '// Package $name' doc comment)"
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "package doc gate failed — add godoc comments citing the paper section (see ARCHITECTURE.md)"
+    exit 1
+fi
+echo "package doc gate: all packages documented"
