@@ -1,0 +1,214 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"qframan/internal/serve"
+	"qframan/internal/store"
+)
+
+// runBench drives the daemon through its real HTTP surface with a
+// sustained load of concurrent jobs from several tenants, in two waves
+// over the same geometry set: wave 1 populates the shared store, wave 2
+// resubmits every geometry under a different tenant and must see
+// cross-job dedup in each job's report. Writes BENCH_serve.json.
+func runBench(cfg serve.Config, jobs int) error {
+	if jobs < 4 {
+		jobs = 4
+	}
+	if cfg.Store == nil {
+		dir, err := os.MkdirTemp("", "qfserve-bench-store-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		st, err := store.Open(dir)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		cfg.Store = st
+	}
+	if cfg.Tenants == nil {
+		cfg.Tenants = map[string]int{"alpha": 2, "beta": 1, "gamma": 1}
+	}
+
+	s := serve.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Distinct waterbox geometries; every water fragment inside them is
+	// canonically identical, so even wave 1 dedups internally — the
+	// cross-job signal wave 2 checks is the per-job CrossJobHits count,
+	// which only counts results that existed before the job started.
+	geoms := [][3]int{{1, 1, 1}, {2, 1, 1}, {2, 2, 1}, {2, 2, 2}}
+	tenants := []string{"alpha", "beta", "gamma"}
+	wave1 := jobs / 2
+	wave2 := jobs - wave1
+
+	submit := func(tenant string, g [3]int) (string, error) {
+		body, _ := json.Marshal(serve.SubmitRequest{
+			Tenant:   tenant,
+			System:   serve.SystemSpec{Kind: "waterbox", NX: g[0], NY: g[1], NZ: g[2]},
+			Spectrum: serve.SpectrumSpec{Dense: true},
+		})
+		resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			return "", fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+		}
+		var sr serve.SubmitResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			return "", err
+		}
+		return sr.ID, nil
+	}
+	wait := func(id string) (serve.Status, error) {
+		for {
+			resp, err := http.Get(base + "/jobs/" + id)
+			if err != nil {
+				return serve.Status{}, err
+			}
+			var st serve.Status
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				return serve.Status{}, err
+			}
+			switch st.State {
+			case serve.JobDone:
+				return st, nil
+			case serve.JobFailed, serve.JobCancelled:
+				return st, fmt.Errorf("job %s ended %s: %s", id, st.State, st.Error)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	type waveStats struct {
+		Jobs          int     `json:"jobs"`
+		WallSeconds   float64 `json:"wall_seconds"`
+		JobsPerSecond float64 `json:"jobs_per_second"`
+		Fragments     int     `json:"fragments"`
+		CacheHits     int     `json:"cache_hits"`
+		CacheMisses   int     `json:"cache_misses"`
+		CrossJobHits  int     `json:"cross_job_hits"`
+		MeanWaitSec   float64 `json:"mean_wait_seconds"`
+		MeanRunSec    float64 `json:"mean_run_seconds"`
+	}
+	runWave := func(n int, tenantOffset int) (waveStats, []serve.Status, error) {
+		var ws waveStats
+		ws.Jobs = n
+		t0 := time.Now()
+		ids := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			id, err := submit(tenants[(i+tenantOffset)%len(tenants)], geoms[i%len(geoms)])
+			if err != nil {
+				return ws, nil, err
+			}
+			ids = append(ids, id)
+		}
+		sts := make([]serve.Status, 0, n)
+		for _, id := range ids {
+			st, err := wait(id)
+			if err != nil {
+				return ws, nil, err
+			}
+			sts = append(sts, st)
+			ws.Fragments += st.Report.Fragments
+			ws.CacheHits += st.Report.CacheHits
+			ws.CacheMisses += st.Report.CacheMisses
+			ws.CrossJobHits += st.Report.CrossJobHits
+			ws.MeanWaitSec += st.WaitSeconds
+			ws.MeanRunSec += st.RunSeconds
+		}
+		ws.WallSeconds = time.Since(t0).Seconds()
+		ws.JobsPerSecond = float64(n) / ws.WallSeconds
+		ws.MeanWaitSec /= float64(n)
+		ws.MeanRunSec /= float64(n)
+		return ws, sts, nil
+	}
+
+	fmt.Printf("qfserve bench: %d jobs (%d + %d overlapping), runners=%d, %d tenants\n",
+		jobs, wave1, wave2, cfg.Runners, len(tenants))
+	w1, _, err := runWave(wave1, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wave 1: %d jobs in %.2fs (%.1f jobs/s), %d fragments, %d hits / %d misses\n",
+		w1.Jobs, w1.WallSeconds, w1.JobsPerSecond, w1.Fragments, w1.CacheHits, w1.CacheMisses)
+
+	// Wave 2: same geometries, shifted tenant assignment → overlapping
+	// jobs from different tenants.
+	w2, sts2, err := runWave(wave2, 1)
+	if err != nil {
+		return err
+	}
+	minCross := -1
+	for _, st := range sts2 {
+		if minCross < 0 || st.Report.CrossJobHits < minCross {
+			minCross = st.Report.CrossJobHits
+		}
+	}
+	fmt.Printf("wave 2: %d jobs in %.2fs (%.1f jobs/s), cross-job hits total %d (min per job %d)\n",
+		w2.Jobs, w2.WallSeconds, w2.JobsPerSecond, w2.CrossJobHits, minCross)
+	if minCross <= 0 {
+		return fmt.Errorf("bench acceptance failed: a wave-2 overlapping job reported %d cross-job dedup hits", minCross)
+	}
+
+	stStats := cfg.Store.Stats()
+	if err := s.Drain(time.Minute); err != nil {
+		return err
+	}
+	fmt.Println("drain complete")
+
+	doc := map[string]any{
+		"date": time.Now().Format("2006-01-02"),
+		"description": "Sustained multi-tenant serving benchmark (cmd/qfserve -bench): two waves of " +
+			"concurrent waterbox jobs over the daemon's real HTTP surface, 3 tenants under weighted " +
+			"fair-share, shared content-addressed store, dense spectra. Wave 2 resubmits wave-1 " +
+			"geometries from different tenants, so every wave-2 job must inherit fragments from the " +
+			"shared store (cross-job dedup).",
+		"acceptance": fmt.Sprintf("every wave-2 overlapping job reports cross-job dedup hits > 0 "+
+			"(min observed %d); graceful drain clean", minCross),
+		"commands": []string{"go run ./cmd/qfserve -bench"},
+		"host": map[string]any{
+			"num_cpu": runtime.NumCPU(), "go": runtime.Version(),
+			"goos": runtime.GOOS, "goarch": runtime.GOARCH,
+		},
+		"results": map[string]any{
+			"runners":                  cfg.Runners,
+			"wave1":                    w1,
+			"wave2":                    w2,
+			"wave2_min_cross_job_hits": minCross,
+			"store_objects":            stStats.Objects,
+			"store_logical_records":    stStats.Logical,
+			"store_dedup_ratio":        stStats.DedupRatio,
+		},
+	}
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_serve.json")
+	return nil
+}

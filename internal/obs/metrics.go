@@ -117,7 +117,20 @@ var CountBuckets = ExpBuckets(1, 2, 14)
 // mutex, so hot paths should resolve their instruments once (see Hot);
 // the instruments themselves are wait-free. All methods are nil-safe: a
 // nil registry returns nil instruments whose methods no-op.
+//
+// A Registry value is a *view* over shared storage: WithLabel derives a view
+// that appends a {key="value"} label set to every instrument name it
+// resolves, while recording into the same underlying store. A multi-tenant
+// service hands each job a labeled view of the daemon registry, so one
+// /metrics snapshot carries per-job series (sched_cache_hits_total{job="7"})
+// next to the process-wide ones.
 type Registry struct {
+	st     *regState
+	labels string // rendered label suffix, e.g. `{job="7",tenant="a"}`
+}
+
+// regState is the storage shared by a registry and all its label views.
+type regState struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
@@ -126,39 +139,57 @@ type Registry struct {
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
+	return &Registry{st: &regState{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+	}}
+}
+
+// WithLabel returns a view of r that resolves every instrument under
+// name{key="value"} — appended after any labels the view already carries —
+// recording into the same shared storage as r. Label views are cheap and
+// safe to create concurrently; a nil registry stays nil-safe.
+func (r *Registry) WithLabel(key, value string) *Registry {
+	if r == nil {
+		return nil
 	}
+	set := key + `="` + value + `"`
+	labels := "{" + set + "}"
+	if r.labels != "" { // splice into the existing set: {a="b"} → {a="b",c="d"}
+		labels = r.labels[:len(r.labels)-1] + "," + set + "}"
+	}
+	return &Registry{st: r.st, labels: labels}
 }
 
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
-	if r == nil {
+	if r == nil || r.st == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c := r.counters[name]
+	name += r.labels
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	c := r.st.counters[name]
 	if c == nil {
 		c = &Counter{}
-		r.counters[name] = c
+		r.st.counters[name] = c
 	}
 	return c
 }
 
 // Gauge returns the named gauge, creating it on first use.
 func (r *Registry) Gauge(name string) *Gauge {
-	if r == nil {
+	if r == nil || r.st == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g := r.gauges[name]
+	name += r.labels
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	g := r.st.gauges[name]
 	if g == nil {
 		g = &Gauge{}
-		r.gauges[name] = g
+		r.st.gauges[name] = g
 	}
 	return g
 }
@@ -166,15 +197,16 @@ func (r *Registry) Gauge(name string) *Gauge {
 // Histogram returns the named histogram, creating it with the given bounds
 // on first use (later callers inherit the original bounds).
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
-	if r == nil {
+	if r == nil || r.st == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h := r.hists[name]
+	name += r.labels
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	h := r.st.hists[name]
 	if h == nil {
 		h = NewHistogram(bounds)
-		r.hists[name] = h
+		r.st.hists[name] = h
 	}
 	return h
 }
@@ -233,28 +265,29 @@ type Snapshot struct {
 	Hists    map[string]HistSnapshot
 }
 
-// Snapshot copies every metric at one instant. Counters and histogram
+// Snapshot copies every metric at one instant — including the series of
+// every label view sharing this registry's storage. Counters and histogram
 // totals are each internally consistent (atomic loads); the snapshot as a
 // whole is not a global barrier, which is fine for monitoring.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{At: time.Now(), Counters: map[string]int64{}, Gauges: map[string]int64{}, Hists: map[string]HistSnapshot{}}
-	if r == nil {
+	if r == nil || r.st == nil {
 		return s
 	}
-	r.mu.Lock()
-	counters := make(map[string]*Counter, len(r.counters))
-	for k, v := range r.counters {
+	r.st.mu.Lock()
+	counters := make(map[string]*Counter, len(r.st.counters))
+	for k, v := range r.st.counters {
 		counters[k] = v
 	}
-	gauges := make(map[string]*Gauge, len(r.gauges))
-	for k, v := range r.gauges {
+	gauges := make(map[string]*Gauge, len(r.st.gauges))
+	for k, v := range r.st.gauges {
 		gauges[k] = v
 	}
-	hists := make(map[string]*Histogram, len(r.hists))
-	for k, v := range r.hists {
+	hists := make(map[string]*Histogram, len(r.st.hists))
+	for k, v := range r.st.hists {
 		hists[k] = v
 	}
-	r.mu.Unlock()
+	r.st.mu.Unlock()
 	for k, c := range counters {
 		s.Counters[k] = c.Value()
 	}

@@ -115,7 +115,7 @@ func TestHistogramQuantiles(t *testing.T) {
 
 func snapshotOne(h *Histogram) HistSnapshot {
 	r := NewRegistry()
-	r.hists["x"] = h
+	r.st.hists["x"] = h
 	return r.Snapshot().Hists["x"]
 }
 

@@ -50,8 +50,15 @@ type Options struct {
 	Injector faults.Injector
 	// Process overrides the fragment engine (the leader's model build +
 	// displacement fan-out). Tests and custom engines use it; nil selects
-	// the built-in SCF+DFPT pipeline.
-	Process func(f *fragment.Fragment, opt Options) (*hessian.FragmentData, error)
+	// the built-in SCF+DFPT pipeline (DefaultProcess).
+	Process ProcessFunc
+	// Cancel, when non-nil, is the job-scoped run handle of a serving
+	// frontend: closing it aborts the run. Leaders stop taking work,
+	// in-flight attempts finish (and their checkpoints still land, so
+	// another job sharing the store can take over their keys), and Run
+	// returns an error wrapping ErrCancelled. A run whose fragments all
+	// resolved before the close is a normal completion.
+	Cancel <-chan struct{}
 	// Cache wires the persistent fragment-result store into the runtime:
 	// content-addressed lookup before dispatch, checkpoint writes on
 	// completion, and deterministic within-run dedup of identical
@@ -63,6 +70,21 @@ type Options struct {
 	// scope is threaded down to the SCF/DFPT engine for per-phase spans.
 	// The zero Scope disables all of it.
 	Obs obs.Scope
+}
+
+// ProcessFunc is the fragment-engine signature of Options.Process.
+type ProcessFunc func(f *fragment.Fragment, opt Options) (*hessian.FragmentData, error)
+
+// ErrCancelled is wrapped into Run's error when Options.Cancel closes
+// before every fragment resolves; errors.Is(err, ErrCancelled) identifies a
+// cancelled job.
+var ErrCancelled = errors.New("sched: run cancelled")
+
+// DefaultProcess is the built-in SCF+DFPT fragment engine — what runs when
+// Options.Process is nil. Serving wrappers (admission gates, cancellation
+// probes) delegate to it after their own bookkeeping.
+func DefaultProcess(f *fragment.Fragment, opt Options) (*hessian.FragmentData, error) {
+	return leaderProcessFragment(f, opt)
 }
 
 // CacheOptions configures the runtime's use of a checkpoint store.
@@ -257,6 +279,7 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 	var failed []int
 	resolved := 0 // fragments done or failed
 	aborted := false
+	cancelled := false
 	var abortErrs []error
 	results := make([]*hessian.FragmentData, nf)
 	report := &Report{Leaders: make([]LeaderStats, opt.NumLeaders)}
@@ -271,6 +294,21 @@ func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Re
 		defer mu.Unlock()
 		if aborted {
 			return nil, false
+		}
+		// Cancellation is observed here, the one gate every leader passes
+		// between tasks. A run whose fragments all resolved already is left
+		// to complete normally.
+		if opt.Cancel != nil && resolved < nf {
+			select {
+			case <-opt.Cancel:
+				if !cancelled {
+					cancelled = true
+					abortErrs = append(abortErrs, fmt.Errorf("%w (%d of %d fragments resolved)", ErrCancelled, resolved, nf))
+				}
+				aborted = true
+				return nil, false
+			default:
+			}
 		}
 		// Compact the retry queue — entries resolved elsewhere are stale —
 		// and dispatch the first one whose backoff has elapsed.

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// qjob builds a bare queued job for queue-level tests.
+func qjob(tenant string, priority int, seq int64) *Job {
+	return &Job{
+		ID:       fmt.Sprintf("j%d", seq),
+		Tenant:   tenant,
+		Priority: priority,
+		seq:      seq,
+		cancel:   make(chan struct{}),
+		state:    JobQueued,
+	}
+}
+
+// TestFairnessFloodCannotStarve is the fairness property: tenant "flood"
+// dumps 300 jobs, tenant "light" 30. With weights 1:1, in every selection
+// prefix while both are backlogged, light must have received at least
+// floor(prefix/2) − 1 picks — the smooth-WRR deviation bound. A flooding
+// tenant gaining more than its weight share would fail this immediately.
+func TestFairnessFloodCannotStarve(t *testing.T) {
+	q := newFairQueue(nil, 1, 0, 0)
+	seq := int64(0)
+	for i := 0; i < 300; i++ {
+		seq++
+		if err := q.push(qjob("flood", 0, seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		seq++
+		if err := q.push(qjob("light", 0, seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	lightPicks, prefix := 0, 0
+	for lightPicks < 30 {
+		j := q.pop()
+		if j == nil {
+			t.Fatalf("queue ran dry with light backlogged (prefix %d)", prefix)
+		}
+		prefix++
+		if j.Tenant == "light" {
+			lightPicks++
+		}
+		if min := prefix/2 - 1; lightPicks < min {
+			t.Fatalf("after %d picks light has %d, below fair floor %d: flooding tenant starved it",
+				prefix, lightPicks, min)
+		}
+	}
+	// Light's whole backlog cleared within ~2× its size worth of picks.
+	if prefix > 61 {
+		t.Fatalf("light needed %d total picks to drain 30 jobs at weight 1:1", prefix)
+	}
+}
+
+// TestFairnessRespectsWeights: weights 3:1 give the heavy tenant ~3/4 of
+// the picks over any window where both stay backlogged.
+func TestFairnessRespectsWeights(t *testing.T) {
+	q := newFairQueue(map[string]int{"gold": 3, "bronze": 1}, 1, 0, 0)
+	seq := int64(0)
+	for i := 0; i < 200; i++ {
+		seq++
+		q.push(qjob("gold", 0, seq))
+		seq++
+		q.push(qjob("bronze", 0, seq))
+	}
+	gold := 0
+	const window = 160 // both tenants stay backlogged throughout
+	for i := 0; i < window; i++ {
+		if q.pop().Tenant == "gold" {
+			gold++
+		}
+	}
+	if gold < window*3/4-1 || gold > window*3/4+1 {
+		t.Fatalf("gold got %d of %d picks at weight 3:1, want %d±1", gold, window, window*3/4)
+	}
+}
+
+// TestFairnessRoundRobinInterleaves: equal weights, equal backlogs → strict
+// alternation (deterministic given the lexicographic tiebreak).
+func TestFairnessRoundRobinInterleaves(t *testing.T) {
+	q := newFairQueue(nil, 1, 0, 0)
+	for i := int64(1); i <= 6; i++ {
+		q.push(qjob("a", 0, i))
+		q.push(qjob("b", 0, i+100))
+	}
+	var got []string
+	for j := q.pop(); j != nil; j = q.pop() {
+		got = append(got, j.Tenant)
+	}
+	want := []string{"a", "b", "a", "b", "a", "b", "a", "b", "a", "b", "a", "b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pick %d went to %q, want %q (full order %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestQueuePriorityAndFIFO: within one tenant, higher priority first; FIFO
+// inside a priority level.
+func TestQueuePriorityAndFIFO(t *testing.T) {
+	q := newFairQueue(nil, 1, 0, 0)
+	q.push(qjob("t", 0, 1))
+	q.push(qjob("t", -2, 2))
+	q.push(qjob("t", 2, 3))
+	q.push(qjob("t", 0, 4))
+	q.push(qjob("t", 2, 5))
+	var got []int64
+	for j := q.pop(); j != nil; j = q.pop() {
+		got = append(got, j.seq)
+	}
+	want := []int64{3, 5, 1, 4, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestQueueAdmissionBounds: the global and per-tenant caps reject with the
+// right errors, and removal frees capacity.
+func TestQueueAdmissionBounds(t *testing.T) {
+	q := newFairQueue(nil, 1, 4, 2)
+	a1, a2 := qjob("a", 0, 1), qjob("a", 0, 2)
+	if err := q.push(a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(a2); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(qjob("a", 0, 3)); err != ErrTenantQueueFull {
+		t.Fatalf("third job for tenant a: %v, want ErrTenantQueueFull", err)
+	}
+	q.push(qjob("b", 0, 4))
+	q.push(qjob("c", 0, 5))
+	if err := q.push(qjob("d", 0, 6)); err != ErrQueueFull {
+		t.Fatalf("fifth job overall: %v, want ErrQueueFull", err)
+	}
+	if !q.remove(a2) {
+		t.Fatal("remove of a queued job failed")
+	}
+	if q.remove(a2) {
+		t.Fatal("double remove succeeded")
+	}
+	if err := q.push(qjob("d", 0, 7)); err != nil {
+		t.Fatalf("push after remove: %v", err)
+	}
+	if q.depth() != 4 {
+		t.Fatalf("depth %d, want 4", q.depth())
+	}
+}
+
+// TestQueueIdleTenantBanksNoCredit: a tenant that sat idle while others
+// drained cannot burst ahead of its weight when it returns.
+func TestQueueIdleTenantBanksNoCredit(t *testing.T) {
+	q := newFairQueue(nil, 1, 0, 0)
+	seq := int64(0)
+	// "busy" works alone for a while; "idle" is registered but empty.
+	q.push(qjob("idle", 0, 1)) // touch the tenant…
+	if j := q.pop(); j.Tenant != "idle" {
+		t.Fatal("warmup pick")
+	}
+	for i := 0; i < 50; i++ {
+		seq = int64(i + 10)
+		q.push(qjob("busy", 0, seq))
+	}
+	for i := 0; i < 50; i++ {
+		q.pop()
+	}
+	// Now both submit equal backlogs: picks must alternate from the start,
+	// not begin with a burst of banked "idle" turns.
+	for i := int64(0); i < 4; i++ {
+		q.push(qjob("busy", 0, 100+i))
+		q.push(qjob("idle", 0, 200+i))
+	}
+	counts := map[string]int{}
+	for i := 0; i < 4; i++ {
+		counts[q.pop().Tenant]++
+	}
+	if counts["idle"] > 3 {
+		t.Fatalf("returning idle tenant took %d of the first 4 picks", counts["idle"])
+	}
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzSubmitRequest hammers the submit decoder end to end — JSON decode,
+// validation, and system build — with hostile payloads. The invariants:
+// never panic, never build a system that violates the admission limits,
+// never accept non-finite geometry (the text format can smuggle NaN/Inf
+// through strconv.ParseFloat), and never allocate unboundedly for an
+// oversized spec.
+func FuzzSubmitRequest(f *testing.F) {
+	seeds := []string{
+		`{"tenant":"alice","system":{"kind":"waterbox","nx":2,"ny":2,"nz":2}}`,
+		`{"tenant":"bob","priority":2,"system":{"kind":"dimers","n":3},"hessian_only":true}`,
+		`{"tenant":"c.d-e_f","system":{"kind":"text","text":"ATOM 0 OW O HOH 1 0 0 0 0\nATOM 1 HW1 H HOH 1 0 0.96 0 0\nATOM 2 HW2 H HOH 1 0 -0.24 0.93 0\n"}}`,
+		`{"tenant":"a","system":{"kind":"text","text":"ATOM 0 OW O HOH 1 0 NaN 0 0\n"}}`,
+		`{"tenant":"a","system":{"kind":"text","text":"ATOM 0 OW O HOH 1 0 +Inf 0 0\n"}}`,
+		`{"tenant":"a","system":{"kind":"waterbox","nx":2000000000,"ny":2000000000,"nz":2000000000}}`,
+		`{"tenant":"a","system":{"kind":"dimers","n":-1}}`,
+		`{"tenant":"a","priority":-3,"system":{"kind":"dimers","n":1}}`,
+		`{"tenant":"","system":{"kind":"dimers","n":1}}`,
+		`{"tenant":"a","system":{"kind":"waterbox","nx":1,"ny":1,"nz":1,"origin":[1e308,1e308,0]}}`,
+		`{"tenant":"a","spectrum":{"fmin":100,"fmax":50},"system":{"kind":"dimers","n":1}}`,
+		`{"tenant":"a","spectrum":{"sigma":-5},"system":{"kind":"dimers","n":1}}`,
+		`null`, `[]`, `{}`, `{"tenant":"a"`, ``,
+		`{"tenant":"a","system":{"kind":"dimers","n":1}}{"again":true}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	lim := Limits{MaxAtoms: 120, MaxTextBytes: 1 << 16}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseSubmitRequest(data, lim)
+		if err != nil {
+			if req != nil {
+				t.Fatal("non-nil request returned alongside an error")
+			}
+			return
+		}
+		// Parse accepted: its promises must hold.
+		if !validTenant(req.Tenant) {
+			t.Fatalf("accepted invalid tenant %q", req.Tenant)
+		}
+		if req.Priority < PriorityMin || req.Priority > PriorityMax {
+			t.Fatalf("accepted priority %d", req.Priority)
+		}
+		sys, err := req.System.Build(lim)
+		if err != nil {
+			// Build may still reject (e.g. text that only parses partway),
+			// but must do so with an error, not a panic.
+			if !strings.HasPrefix(err.Error(), "serve:") {
+				t.Fatalf("build error lacks package prefix: %v", err)
+			}
+			return
+		}
+		if sys.NumAtoms() == 0 || sys.NumAtoms() > lim.MaxAtoms {
+			t.Fatalf("built system with %d atoms under limit %d", sys.NumAtoms(), lim.MaxAtoms)
+		}
+		for _, a := range sys.Atoms {
+			for _, v := range []float64{a.Pos.X, a.Pos.Y, a.Pos.Z} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("built system with non-finite coordinate %v", v)
+				}
+			}
+		}
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("built system fails validation: %v", err)
+		}
+	})
+}

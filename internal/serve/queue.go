@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"errors"
+	"sort"
+)
+
+// Admission rejections. Both map to 429 + Retry-After: the client should
+// back off and resubmit, which is how the daemon sheds burst load instead
+// of growing the queue until the kernel kills it.
+var (
+	ErrQueueFull       = errors.New("serve: job queue is full")
+	ErrTenantQueueFull = errors.New("serve: tenant queue is full")
+)
+
+// tenantQueue holds one tenant's pending jobs plus its fair-share credit.
+type tenantQueue struct {
+	name   string
+	weight int
+	credit int
+	jobs   []*Job
+}
+
+// fairQueue is a smooth weighted round-robin scheduler over tenants with a
+// strict-priority, FIFO-within-priority order inside each tenant. It is the
+// classic SWRR (nginx upstream balancing): on every pick each backlogged
+// tenant gains its weight in credit, the richest tenant is served and pays
+// back the total active weight. Over any window where a set of tenants
+// stays backlogged, tenant t receives picks proportional to w_t/Σw with
+// bounded deviation — a flooding tenant cannot starve a light one beyond
+// its weight ratio, which the fairness property test pins.
+//
+// fairQueue is not self-locking; the Server serializes access under its
+// own mutex (the fairness test drives it single-threaded on purpose:
+// scheduling order is deterministic given the submission order).
+type fairQueue struct {
+	weights       map[string]int // configured weights; others get defaultWeight
+	defaultWeight int
+	maxQueued     int // global admission bound (0 = unbounded)
+	maxPerTenant  int // per-tenant admission bound (0 = unbounded)
+
+	tenants map[string]*tenantQueue
+	queued  int
+	picks   int64 // total pops served, for /status
+}
+
+func newFairQueue(weights map[string]int, defaultWeight, maxQueued, maxPerTenant int) *fairQueue {
+	if defaultWeight < 1 {
+		defaultWeight = 1
+	}
+	return &fairQueue{
+		weights:       weights,
+		defaultWeight: defaultWeight,
+		maxQueued:     maxQueued,
+		maxPerTenant:  maxPerTenant,
+		tenants:       make(map[string]*tenantQueue),
+	}
+}
+
+func (q *fairQueue) weightOf(tenant string) int {
+	if w, ok := q.weights[tenant]; ok && w >= 1 {
+		return w
+	}
+	return q.defaultWeight
+}
+
+// push admits a job or reports which admission bound it hit.
+func (q *fairQueue) push(j *Job) error {
+	if q.maxQueued > 0 && q.queued >= q.maxQueued {
+		return ErrQueueFull
+	}
+	tq := q.tenants[j.Tenant]
+	if tq == nil {
+		tq = &tenantQueue{name: j.Tenant, weight: q.weightOf(j.Tenant)}
+		q.tenants[j.Tenant] = tq
+	}
+	if q.maxPerTenant > 0 && len(tq.jobs) >= q.maxPerTenant {
+		return ErrTenantQueueFull
+	}
+	tq.jobs = append(tq.jobs, j)
+	q.queued++
+	return nil
+}
+
+// pop removes and returns the next job to run, or nil when empty.
+func (q *fairQueue) pop() *Job {
+	// Deterministic tenant order makes tie-breaks (and the fairness test)
+	// reproducible.
+	active := make([]*tenantQueue, 0, len(q.tenants))
+	total := 0
+	for _, tq := range q.tenants {
+		if len(tq.jobs) == 0 {
+			// An idle tenant banks no credit: fair share is computed over
+			// backlogged tenants only, so a tenant cannot hoard turns while
+			// submitting nothing and then flood ahead of everyone.
+			tq.credit = 0
+			continue
+		}
+		active = append(active, tq)
+		total += tq.weight
+	}
+	if len(active) == 0 {
+		return nil
+	}
+	sort.Slice(active, func(a, b int) bool { return active[a].name < active[b].name })
+	var best *tenantQueue
+	for _, tq := range active {
+		tq.credit += tq.weight
+		if best == nil || tq.credit > best.credit {
+			best = tq
+		}
+	}
+	best.credit -= total
+
+	// Within the tenant: highest priority first, FIFO (submission seq)
+	// within a priority level.
+	bi := 0
+	for i := 1; i < len(best.jobs); i++ {
+		j := best.jobs[i]
+		if j.Priority > best.jobs[bi].Priority ||
+			(j.Priority == best.jobs[bi].Priority && j.seq < best.jobs[bi].seq) {
+			bi = i
+		}
+	}
+	j := best.jobs[bi]
+	best.jobs = append(best.jobs[:bi], best.jobs[bi+1:]...)
+	q.queued--
+	q.picks++
+	return j
+}
+
+// remove unlinks a still-queued job (cancellation); false if not queued.
+func (q *fairQueue) remove(j *Job) bool {
+	tq := q.tenants[j.Tenant]
+	if tq == nil {
+		return false
+	}
+	for i, qj := range tq.jobs {
+		if qj == j {
+			tq.jobs = append(tq.jobs[:i], tq.jobs[i+1:]...)
+			q.queued--
+			return true
+		}
+	}
+	return false
+}
+
+func (q *fairQueue) depth() int { return q.queued }
+
+// depths reports per-tenant backlog for /status, sorted by tenant name.
+func (q *fairQueue) depths() []TenantStatus {
+	out := make([]TenantStatus, 0, len(q.tenants))
+	for _, tq := range q.tenants {
+		out = append(out, TenantStatus{Tenant: tq.name, Weight: tq.weight, Queued: len(tq.jobs)})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Tenant < out[b].Tenant })
+	return out
+}
+
+// TenantStatus is one tenant's row in GET /status.
+type TenantStatus struct {
+	Tenant string `json:"tenant"`
+	Weight int    `json:"weight"`
+	Queued int    `json:"queued"`
+}

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"qframan/internal/hessian"
@@ -29,6 +30,14 @@ import (
 // the record is served after its CRC verifies on read. No state decodes
 // into wrong data, and the manifest is pure bookkeeping: a torn tail or a
 // lost line degrades to a recomputation, never to corruption.
+//
+// Concurrency: one Store may be shared by any number of goroutines — and by
+// concurrent scheduler runs of a serving daemon. The index and manifest are
+// guarded by s.mu; object files commit via atomic rename, so a reader racing
+// a writer sees either no file or a complete record, never a torn one (the
+// CRC on every Get backstops the filesystem anyway). SetObs may be called
+// concurrently by every run sharing the store: the instruments are atomic
+// pointers, re-set idempotently.
 type Store struct {
 	dir string
 
@@ -38,10 +47,12 @@ type Store struct {
 	logical  int // put+ref manifest records across all runs
 	replayed int // manifest records replayed at Open
 
-	// Latency instruments; nil until SetObs. Loaded without s.mu (set once,
-	// before concurrent use) and nil-safe to observe.
-	obsGet *obs.Histogram
-	obsPut *obs.Histogram
+	// Latency instruments; nil until SetObs, atomic because concurrent
+	// sched runs sharing the store each attach their scope. Nil-safe to
+	// observe. obsOnce makes the first attachment win exactly once.
+	obsGet  atomic.Pointer[obs.Histogram]
+	obsPut  atomic.Pointer[obs.Histogram]
+	obsOnce sync.Once
 }
 
 // entry is the in-memory index of one object.
@@ -105,16 +116,21 @@ func (s *Store) Close() error {
 func (s *Store) Dir() string { return s.dir }
 
 // SetObs attaches metric instruments: Get/Put latency histograms and a
-// counter publishing the manifest records replayed at Open. Call once,
-// before the store is used concurrently; a scope without a registry is a
-// no-op.
+// counter publishing the manifest records replayed at Open. The first scope
+// with a registry wins; later calls — every scheduler run sharing the store
+// re-attaches its own scope — are no-ops, so a daemon that attaches its
+// process-wide registry at startup keeps store latencies on one stable
+// series while per-job labeled scopes come and go. Safe to call
+// concurrently; a scope without a registry is a no-op.
 func (s *Store) SetObs(sc obs.Scope) {
 	if sc.R == nil {
 		return
 	}
-	s.obsGet = sc.R.Histogram(obs.MetricStoreGetSeconds, obs.DurationBuckets)
-	s.obsPut = sc.R.Histogram(obs.MetricStorePutSeconds, obs.DurationBuckets)
-	sc.R.Counter(obs.MetricStoreReplayRecs).Add(int64(s.replayed))
+	s.obsOnce.Do(func() {
+		s.obsGet.Store(sc.R.Histogram(obs.MetricStoreGetSeconds, obs.DurationBuckets))
+		s.obsPut.Store(sc.R.Histogram(obs.MetricStorePutSeconds, obs.DurationBuckets))
+		sc.R.Counter(obs.MetricStoreReplayRecs).Add(int64(s.replayed))
+	})
 }
 
 func (s *Store) replay() error {
@@ -197,8 +213,8 @@ func (s *Store) appendLine(line string) error {
 // the input — and callers should use it in place of the input so computed
 // and cache-served fragments are bit-identical.
 func (s *Store) Put(k Key, fr Frame, fd *hessian.FragmentData) (*hessian.FragmentData, error) {
-	if s.obsPut != nil {
-		defer func(t0 time.Time) { s.obsPut.ObserveDuration(time.Since(t0)) }(time.Now())
+	if h := s.obsPut.Load(); h != nil {
+		defer func(t0 time.Time) { h.ObserveDuration(time.Since(t0)) }(time.Now())
 	}
 	canon, err := fr.ToCanonical(fd)
 	if err != nil {
@@ -278,8 +294,8 @@ func (s *Store) writeObject(k Key, blob []byte) error {
 // reports that the record was produced by an earlier run (and not
 // re-vouched by this one): resume accounting.
 func (s *Store) Get(k Key, fr Frame) (*hessian.FragmentData, bool, error) {
-	if s.obsGet != nil {
-		defer func(t0 time.Time) { s.obsGet.ObserveDuration(time.Since(t0)) }(time.Now())
+	if h := s.obsGet.Load(); h != nil {
+		defer func(t0 time.Time) { h.ObserveDuration(time.Since(t0)) }(time.Now())
 	}
 	s.mu.Lock()
 	e, ok := s.idx[k]
@@ -350,6 +366,16 @@ func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.idx)
+}
+
+// Has reports whether an object for k is currently indexed — a cheap
+// existence probe (no I/O, no CRC) that a serving frontend uses for
+// cross-job dedup accounting before dispatch. The authoritative check stays
+// with Get, which validates the record's bytes.
+func (s *Store) Has(k Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idx[k] != nil
 }
 
 // Stats summarizes store contents for tooling (qfstats -store).
