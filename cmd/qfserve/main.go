@@ -8,8 +8,12 @@
 //
 //	qfserve -addr :8080 -store /var/lib/qframan/store -tenants alice=3,bob=1
 //	curl -d '{"tenant":"alice","system":{"kind":"waterbox","nx":2,"ny":2,"nz":2}}' localhost:8080/jobs
-//	curl localhost:8080/jobs/j1
+//	curl localhost:8080/jobs/$id  # the unguessable ID from the submit response
 //	kill -TERM $(pidof qfserve)   # graceful drain
+//
+// Job IDs are capabilities (96 random bits); a front proxy that
+// authenticates tenants can inject X-Tenant, which the daemon enforces
+// against the job's owner on reads and cancels.
 //
 // With -bench it instead runs the sustained concurrent-job benchmark
 // against its own in-process listener and writes BENCH_serve.json.

@@ -20,6 +20,11 @@ func FuzzSubmitRequest(f *testing.F) {
 		`{"tenant":"a","system":{"kind":"text","text":"ATOM 0 OW O HOH 1 0 NaN 0 0\n"}}`,
 		`{"tenant":"a","system":{"kind":"text","text":"ATOM 0 OW O HOH 1 0 +Inf 0 0\n"}}`,
 		`{"tenant":"a","system":{"kind":"waterbox","nx":2000000000,"ny":2000000000,"nz":2000000000}}`,
+		// int64-wrapping dims: 3·nx ≡ 2 (mod 2^64), nx=2^62 wraps negative,
+		// 6·n ≡ 2 — each slipped past a multiply-then-compare size check.
+		`{"tenant":"a","system":{"kind":"waterbox","nx":6148914691236517206,"ny":1,"nz":1}}`,
+		`{"tenant":"a","system":{"kind":"waterbox","nx":4611686018427387904,"ny":1,"nz":1}}`,
+		`{"tenant":"a","system":{"kind":"dimers","n":3074457345618258603}}`,
 		`{"tenant":"a","system":{"kind":"dimers","n":-1}}`,
 		`{"tenant":"a","priority":-3,"system":{"kind":"dimers","n":1}}`,
 		`{"tenant":"","system":{"kind":"dimers","n":1}}`,

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestValidateRejectsOverflowingDims pins the admission overflow fix:
+// dimensions chosen so the atom-count product wraps int64 back into the
+// accepted range must still be rejected (the original multiply-then-compare
+// check passed nx=6148914691236517206 because 3·nx wraps to 2).
+func TestValidateRejectsOverflowingDims(t *testing.T) {
+	lim := Limits{MaxAtoms: 120}
+	hostile := []SystemSpec{
+		{Kind: "waterbox", NX: 6148914691236517206, NY: 1, NZ: 1}, // 3·nx wraps to 2
+		{Kind: "waterbox", NX: 1 << 62, NY: 1, NZ: 1},             // wraps negative
+		{Kind: "waterbox", NX: 1, NY: 1 << 62, NZ: 1},
+		{Kind: "waterbox", NX: 1, NY: 1, NZ: 1 << 62},
+		{Kind: "waterbox", NX: 1 << 31, NY: 1 << 31, NZ: 1 << 31},
+		{Kind: "dimers", N: 3074457345618258603}, // 6·N wraps to 2
+		{Kind: "dimers", N: 1 << 62},
+	}
+	for _, spec := range hostile {
+		err := spec.validate(lim)
+		if err == nil {
+			t.Fatalf("spec %+v accepted despite overflowing the size check", spec)
+		}
+		if !errors.Is(err, ErrTooLarge) {
+			t.Fatalf("spec %+v rejected with %v, want ErrTooLarge", spec, err)
+		}
+	}
+	// Sanity: in-range specs still pass, including the exact boundary.
+	for _, spec := range []SystemSpec{
+		{Kind: "waterbox", NX: 2, NY: 2, NZ: 2},  // 24 atoms
+		{Kind: "waterbox", NX: 40, NY: 1, NZ: 1}, // exactly 120
+		{Kind: "dimers", N: 20},                  // exactly 120
+	} {
+		if err := spec.validate(lim); err != nil {
+			t.Fatalf("in-range spec %+v rejected: %v", spec, err)
+		}
+	}
+	if err := (&SystemSpec{Kind: "waterbox", NX: 41, NY: 1, NZ: 1}).validate(lim); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("one past the boundary: got %v, want ErrTooLarge", err)
+	}
+}
+
+// TestJobIDsAreUnguessableCapabilities: IDs carry a random suffix (no
+// enumeration from j1, j2, …) and a presented tenant identity must own the
+// job — a mismatch is indistinguishable from an unknown ID.
+func TestJobIDsAreUnguessableCapabilities(t *testing.T) {
+	_, ts := newTestServer(t, Config{Runners: 1})
+	a := submitOK(t, ts, SubmitRequest{Tenant: "alice", System: SystemSpec{Kind: "dimers", N: 1}})
+	b := submitOK(t, ts, SubmitRequest{Tenant: "alice", System: SystemSpec{Kind: "dimers", N: 1}})
+
+	for i, id := range []string{a.ID, b.ID} {
+		prefix := fmt.Sprintf("j%d-", i+1)
+		if !strings.HasPrefix(id, prefix) || len(id) != len(prefix)+24 {
+			t.Fatalf("job ID %q: want %q + 24 hex chars of randomness", id, prefix)
+		}
+	}
+	if a.ID[strings.Index(a.ID, "-"):] == b.ID[strings.Index(b.ID, "-"):] {
+		t.Fatalf("two jobs share the random suffix: %q %q", a.ID, b.ID)
+	}
+	// The bare sequential name must not resolve.
+	resp, err := http.Get(ts.URL + "/jobs/j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /jobs/j1: %d, want 404", resp.StatusCode)
+	}
+	waitState(t, ts, a.ID, 10*time.Second)
+
+	get := func(hdr, query string) int {
+		t.Helper()
+		url := ts.URL + "/jobs/" + a.ID + query
+		req, _ := http.NewRequest(http.MethodGet, url, nil)
+		if hdr != "" {
+			req.Header.Set("X-Tenant", hdr)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("mallory", ""); code != http.StatusNotFound {
+		t.Fatalf("GET with wrong X-Tenant: %d, want 404", code)
+	}
+	if code := get("", "?tenant=mallory"); code != http.StatusNotFound {
+		t.Fatalf("GET with wrong ?tenant: %d, want 404", code)
+	}
+	if code := get("alice", ""); code != http.StatusOK {
+		t.Fatalf("GET with owning X-Tenant: %d, want 200", code)
+	}
+	if code := get("", ""); code != http.StatusOK {
+		t.Fatalf("GET with no identity (capability access): %d, want 200", code)
+	}
+	// DELETE under the wrong identity must not cancel.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+a.ID, nil)
+	req.Header.Set("X-Tenant", "mallory")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE with wrong X-Tenant: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestFinishedJobEviction: terminal jobs drop their inputs immediately and
+// only MaxFinishedJobs of them stay queryable — the daemon's job index
+// cannot grow without bound under sustained load.
+func TestFinishedJobEviction(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Runners: 1, MaxFinishedJobs: 2})
+	var ids []string
+	for i := 0; i < 4; i++ {
+		sr := submitOK(t, ts, SubmitRequest{Tenant: "a", System: SystemSpec{Kind: "dimers", N: 1}})
+		waitState(t, ts, sr.ID, 10*time.Second)
+		ids = append(ids, sr.ID)
+	}
+
+	for _, id := range ids[:2] {
+		resp, err := http.Get(ts.URL + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("evicted job %s: %d, want 404", id, resp.StatusCode)
+		}
+	}
+	for _, id := range ids[2:] {
+		st := getStatus(t, ts, id, false)
+		if st.State != JobDone || st.Report == nil {
+			t.Fatalf("retained job %s lost its result: %+v", id, st)
+		}
+	}
+
+	srv.mu.Lock()
+	indexed := len(srv.jobs)
+	srv.mu.Unlock()
+	if indexed != 2 {
+		t.Fatalf("job index holds %d jobs, want 2 (retention cap)", indexed)
+	}
+	j, ok := srv.Job(ids[3])
+	if !ok {
+		t.Fatal("retained job vanished")
+	}
+	j.mu.Lock()
+	leaked := j.sys != nil || j.req != nil
+	j.mu.Unlock()
+	if leaked {
+		t.Fatal("terminal job still holds its system/request inputs")
+	}
+}
+
+// TestLedgerBounded: the cross-tenant attribution ledger respects
+// MaxLedgerKeys instead of accumulating one entry per distinct fragment
+// key forever.
+func TestLedgerBounded(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	srv, ts := newTestServer(t, Config{Runners: 1, Store: st, MaxLedgerKeys: 1})
+	for _, d := range []float64{0.95, 0.97, 0.99} { // distinct bond lengths → distinct keys
+		sr := submitOK(t, ts, SubmitRequest{
+			Tenant: "a",
+			System: SystemSpec{Kind: "text", Text: waterText(d, 0)},
+		})
+		waitState(t, ts, sr.ID, 10*time.Second)
+	}
+	srv.mu.Lock()
+	n := len(srv.ledger)
+	srv.mu.Unlock()
+	if n > 1 {
+		t.Fatalf("ledger holds %d keys, cap is 1", n)
+	}
+}
+
+// TestSubmitBodyReadErrors: only a genuine byte-limit breach is 413; an
+// upload the client aborts mid-body is a 400, and neither is counted as a
+// too_large admission rejection for the other's reason.
+func TestSubmitBodyReadErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Runners: 1, MaxTextBytes: 1024})
+
+	// Over the MaxBytesReader limit (MaxTextBytes + 4096 slack) → 413.
+	big := bytes.Repeat([]byte{'x'}, 8192)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %d, want 413", resp.StatusCode)
+	}
+
+	// Truncated upload: Content-Length promises more than is sent, then
+	// the write side closes. The server's body read fails without hitting
+	// the byte limit → 400, not 413.
+	addr := strings.TrimPrefix(ts.URL, "http://")
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "POST /jobs HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: 500\r\n\r\n{\"tenant\":", addr)
+	conn.(*net.TCPConn).CloseWrite()
+	reply := make([]byte, 4096)
+	n, err := conn.Read(reply)
+	if err != nil && n == 0 {
+		t.Fatalf("no response to truncated upload: %v", err)
+	}
+	status := string(reply[:n])
+	if !strings.HasPrefix(status, "HTTP/1.1 400") {
+		t.Fatalf("truncated upload: got %q, want HTTP/1.1 400", strings.SplitN(status, "\r\n", 2)[0])
+	}
+}

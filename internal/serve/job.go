@@ -183,22 +183,26 @@ func (s *SystemSpec) validate(lim Limits) error {
 		if s.NX < 1 || s.NY < 1 || s.NZ < 1 {
 			return fmt.Errorf("serve: waterbox dims must be ≥ 1")
 		}
-		// Multiply stepwise with the limit as a ceiling so a hostile
-		// nx·ny·nz cannot wrap int64 past the check (found by fuzzing).
+		// Compare by division so a hostile nx·ny·nz can never wrap int64:
+		// atoms·d > max ⟺ atoms > ⌊max/d⌋ exactly (d ≥ 1), and the
+		// multiply only happens once the product is proven ≤ max. The
+		// earlier multiply-then-compare version still wrapped for dims
+		// near 2^62 (found by fuzzing).
 		atoms := int64(3)
 		for _, d := range [3]int{s.NX, s.NY, s.NZ} {
-			atoms *= int64(d)
-			if atoms > int64(maxAtoms) {
+			if atoms > int64(maxAtoms)/int64(d) {
 				return fmt.Errorf("%w: waterbox %d×%d×%d exceeds the %d-atom limit",
 					ErrTooLarge, s.NX, s.NY, s.NZ, maxAtoms)
 			}
+			atoms *= int64(d)
 		}
 	case "dimers":
 		if s.N < 1 {
 			return fmt.Errorf("serve: dimers count must be ≥ 1")
 		}
-		if atoms := 6 * int64(s.N); atoms > int64(maxAtoms) {
-			return fmt.Errorf("%w: %d dimers are %d atoms, limit %d", ErrTooLarge, s.N, atoms, maxAtoms)
+		// Same division form: 6·N wraps int64 for N near 2^62.
+		if int64(s.N) > int64(maxAtoms)/6 {
+			return fmt.Errorf("%w: %d dimers exceed the %d-atom limit", ErrTooLarge, s.N, maxAtoms)
 		}
 	case "text":
 		maxText := lim.MaxTextBytes
@@ -317,6 +321,7 @@ type Job struct {
 
 	mu         sync.Mutex
 	state      JobState
+	finalized  bool // inputs released + retention bookkeeping done
 	errMsg     string
 	submitted  time.Time
 	started    time.Time

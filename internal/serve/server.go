@@ -1,12 +1,13 @@
 package serve
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
-	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -29,6 +30,8 @@ const (
 	DefaultRunners         = 2
 	DefaultRetryAfter      = 2 * time.Second
 	DefaultMaxInflightFrag = 8
+	DefaultMaxFinishedJobs = 512
+	DefaultMaxLedgerKeys   = 1 << 16
 )
 
 // Daemon-level metric names (per-job scheduler metrics carry job/tenant
@@ -71,6 +74,21 @@ type Config struct {
 	MaxAtomsPerJob     int
 	MaxTextBytes       int
 	RetryAfter         time.Duration
+
+	// MaxFinishedJobs bounds how many terminal jobs (done/failed/
+	// cancelled) stay queryable through GET /jobs/{id}. Beyond it the
+	// oldest-finished jobs are evicted from the index, so a long-lived
+	// daemon under sustained load holds a bounded set of reports and
+	// spectra rather than every job it ever ran. Terminal jobs also drop
+	// their inputs (request + system geometry) immediately. Zero picks
+	// DefaultMaxFinishedJobs; negative means retain forever.
+	MaxFinishedJobs int
+	// MaxLedgerKeys bounds the key→tenant attribution ledger behind the
+	// cross-tenant dedup counters. Past the cap, arbitrary entries are
+	// evicted: CrossTenantHits degrades to a lower bound while memory
+	// stays bounded. Zero picks DefaultMaxLedgerKeys; negative means
+	// unbounded.
+	MaxLedgerKeys int
 
 	// Runners is the number of jobs executing concurrently.
 	Runners int
@@ -122,6 +140,12 @@ func (c *Config) fillDefaults() {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = DefaultRetryAfter
 	}
+	if c.MaxFinishedJobs == 0 {
+		c.MaxFinishedJobs = DefaultMaxFinishedJobs
+	}
+	if c.MaxLedgerKeys == 0 {
+		c.MaxLedgerKeys = DefaultMaxLedgerKeys
+	}
 	if c.Runners < 1 {
 		c.Runners = DefaultRunners
 	}
@@ -147,6 +171,7 @@ type Server struct {
 	queue    *fairQueue
 	jobs     map[string]*Job
 	running  map[string]*Job
+	finished []*Job               // terminal jobs, oldest first, for bounded retention
 	ledger   map[store.Key]string // key → tenant that first produced it (this daemon's lifetime)
 	seq      int64
 	draining bool
@@ -184,6 +209,18 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// newJobID returns "j<seq>-<96 random bits>". The sequence number keeps
+// logs and metric labels readable; the random suffix makes IDs
+// unguessable, so holding a job's ID is the capability to read or cancel
+// it — a tenant cannot enumerate or interfere with jobs it didn't submit.
+func newJobID(seq int64) string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("serve: crypto/rand unavailable: " + err.Error())
+	}
+	return fmt.Sprintf("j%d-%s", seq, hex.EncodeToString(b[:]))
+}
+
 // Submit admits a parsed request whose system already built. It returns
 // the queued job or an admission error (ErrQueueFull / ErrTenantQueueFull /
 // ErrDraining).
@@ -195,7 +232,7 @@ func (s *Server) Submit(req *SubmitRequest, sys *structure.System) (*Job, error)
 	}
 	s.seq++
 	j := &Job{
-		ID:        fmt.Sprintf("j%d", s.seq),
+		ID:        newJobID(s.seq),
 		Tenant:    req.Tenant,
 		Priority:  req.Priority,
 		seq:       s.seq,
@@ -237,6 +274,53 @@ func (s *Server) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
+// finalizeJob runs once per job as it reaches a terminal state: the inputs
+// (request payload, system geometry) are released — status queries only
+// need the report and spectrum — and the oldest finished jobs beyond
+// MaxFinishedJobs are evicted from the index, so a long-lived daemon's
+// memory is bounded by the retention cap, not by how many jobs it has ever
+// served.
+func (s *Server) finalizeJob(j *Job) {
+	j.mu.Lock()
+	if j.finalized {
+		j.mu.Unlock()
+		return
+	}
+	j.finalized = true
+	j.req = nil
+	j.sys = nil
+	j.mu.Unlock()
+
+	max := s.cfg.MaxFinishedJobs
+	s.mu.Lock()
+	s.finished = append(s.finished, j)
+	if max > 0 {
+		for len(s.finished) > max {
+			old := s.finished[0]
+			s.finished[0] = nil
+			s.finished = s.finished[1:]
+			delete(s.jobs, old.ID)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// enforceLedgerCapLocked evicts arbitrary attribution entries beyond
+// MaxLedgerKeys (caller holds s.mu). Cross-tenant hit counts become a
+// lower bound once eviction kicks in; memory stays bounded.
+func (s *Server) enforceLedgerCapLocked() {
+	max := s.cfg.MaxLedgerKeys
+	if max <= 0 {
+		return
+	}
+	for k := range s.ledger {
+		if len(s.ledger) <= max {
+			break
+		}
+		delete(s.ledger, k)
+	}
+}
+
 // CancelJob cancels a queued or running job; false if the ID is unknown.
 func (s *Server) CancelJob(id string) bool {
 	s.mu.Lock()
@@ -260,6 +344,7 @@ func (s *Server) CancelJob(id string) bool {
 		s.cancelled++
 		s.mu.Unlock()
 		s.reg.Counter(MetricJobsCancelled).Inc()
+		s.finalizeJob(j)
 	}
 	// Running (or about-to-run) jobs see the closed handle; queued jobs
 	// get it closed too so a racing runner pop is a no-op.
@@ -339,6 +424,7 @@ func (s *Server) runJob(j *Job) {
 		j.finished = time.Now()
 		j.mu.Unlock()
 		s.countFinish(JobCancelled)
+		s.finalizeJob(j)
 		return
 	default:
 	}
@@ -369,6 +455,7 @@ func (s *Server) runJob(j *Job) {
 	run := j.finished.Sub(j.started)
 	j.mu.Unlock()
 	s.countFinish(final)
+	s.finalizeJob(j)
 	s.reg.Histogram(MetricJobSeconds, obs.DurationBuckets).Observe(run.Seconds())
 }
 
@@ -403,15 +490,21 @@ func (s *Server) execute(j *Job) (*ReportSummary, *SpectrumPayload, error) {
 	// the ones whose results already sit in the shared store — work this
 	// job inherits from other jobs (or earlier daemon runs). The ledger
 	// attributes in-lifetime producers, so hits on a different tenant's
-	// work are visible as such.
+	// work are visible as such. Fingerprinting hashes every fragment's
+	// canonical geometry, so it runs off the server mutex (the store has
+	// its own lock); s.mu is held only for the ledger lookups.
 	keys := make([]store.Key, len(dec.Fragments))
 	crossJob, crossTenant := 0, 0
 	if s.cfg.Store != nil {
-		s.mu.Lock()
+		hit := make([]bool, len(dec.Fragments))
 		for i := range dec.Fragments {
 			k, _ := store.Fingerprint(&dec.Fragments[i], opt.Job)
 			keys[i] = k
-			if s.cfg.Store.Has(k) {
+			hit[i] = s.cfg.Store.Has(k)
+		}
+		s.mu.Lock()
+		for i, k := range keys {
+			if hit[i] {
 				crossJob++
 				if owner, ok := s.ledger[k]; ok && owner != j.Tenant {
 					crossTenant++
@@ -452,13 +545,19 @@ func (s *Server) execute(j *Job) (*ReportSummary, *SpectrumPayload, error) {
 
 	// Record what this job contributed to the shared store: any of its
 	// keys now present and unowned were first produced under this tenant.
+	// Store probes again run off s.mu; the lock covers only the ledger.
 	if s.cfg.Store != nil {
+		present := make([]bool, len(keys))
+		for i, k := range keys {
+			present[i] = s.cfg.Store.Has(k)
+		}
 		s.mu.Lock()
-		for _, k := range keys {
-			if _, ok := s.ledger[k]; !ok && s.cfg.Store.Has(k) {
+		for i, k := range keys {
+			if _, ok := s.ledger[k]; !ok && present[i] {
 				s.ledger[k] = j.Tenant
 			}
 		}
+		s.enforceLedgerCapLocked()
 		s.mu.Unlock()
 	}
 
@@ -539,6 +638,7 @@ func (s *Server) Drain(grace time.Duration) error {
 		j.mu.Unlock()
 		j.Cancel()
 		s.countFinish(JobCancelled)
+		s.finalizeJob(j)
 	}
 	for _, j := range runningNow {
 		j.Cancel()
@@ -563,12 +663,14 @@ func (s *Server) Close() {
 
 // DaemonStatus is the wire form of GET /status.
 type DaemonStatus struct {
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Draining      bool           `json:"draining"`
-	Runners       int            `json:"runners"`
-	QueueDepth    int            `json:"queue_depth"`
-	Running       []string       `json:"running"`
-	Tenants       []TenantStatus `json:"tenants"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+	Runners       int     `json:"runners"`
+	QueueDepth    int     `json:"queue_depth"`
+	// Running is a count, not a job-ID list: IDs are per-submitter
+	// capabilities and must not be enumerable through /status.
+	Running int            `json:"running"`
+	Tenants []TenantStatus `json:"tenants"`
 
 	JobsSubmitted int64 `json:"jobs_submitted"`
 	JobsDone      int64 `json:"jobs_done"`
@@ -594,7 +696,7 @@ func (s *Server) statusSnapshot() DaemonStatus {
 		Draining:      s.draining,
 		Runners:       s.cfg.Runners,
 		QueueDepth:    s.queue.depth(),
-		Running:       make([]string, 0, len(s.running)),
+		Running:       len(s.running),
 		Tenants:       s.queue.depths(),
 		JobsSubmitted: s.submitted,
 		JobsDone:      s.done,
@@ -602,11 +704,7 @@ func (s *Server) statusSnapshot() DaemonStatus {
 		JobsCancelled: s.cancelled,
 		JobsRejected:  s.rejected,
 	}
-	for id := range s.running {
-		ds.Running = append(ds.Running, id)
-	}
 	s.mu.Unlock()
-	sort.Strings(ds.Running)
 	if s.cfg.Store != nil {
 		st := s.cfg.Store.Stats()
 		ds.Store = &StoreStatus{Objects: st.Objects, Logical: st.Logical, DedupRatio: st.DedupRatio, Bytes: st.Bytes}
@@ -619,6 +717,12 @@ func (s *Server) statusSnapshot() DaemonStatus {
 //	POST   /jobs      submit (202, or 400/413/429/503)
 //	GET    /jobs/{id} job status; ?spectrum=1 includes the spectrum arrays
 //	DELETE /jobs/{id} cancel
+//
+// Job IDs are unguessable capabilities returned only to the submitter.
+// When a request presents a tenant identity (X-Tenant header or ?tenant=,
+// typically injected by an authenticating front proxy), it must match the
+// job's owner; mismatches 404 like unknown IDs.
+//
 //	GET    /status    daemon + tenant + store summary
 //	GET    /metrics   text metrics dump (labeled per-job series included)
 //	GET    /healthz   liveness
@@ -656,7 +760,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxTextBytes)+4096))
 	if err != nil {
-		s.reject(w, http.StatusRequestEntityTooLarge, "request body too large", "too_large")
+		// Only the byte-limit breach is 413; an aborted upload or other
+		// read error is the client's 400, not an admission rejection.
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.reject(w, http.StatusRequestEntityTooLarge, "request body too large", "too_large")
+		} else {
+			s.reject(w, http.StatusBadRequest, "failed to read request body", "read_error")
+		}
 		return
 	}
 	lim := Limits{MaxAtoms: s.cfg.MaxAtomsPerJob, MaxTextBytes: s.cfg.MaxTextBytes}
@@ -706,8 +817,34 @@ func (s *Server) reject(w http.ResponseWriter, code int, msg, reason string) {
 	writeJSON(w, code, errorResponse{Error: msg})
 }
 
-func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+// requesterTenant is the caller identity an authenticating front proxy
+// injects (X-Tenant header, or ?tenant= for curl-grade clients). Job IDs
+// are already unguessable capabilities; when a deployment authenticates
+// tenants at the edge, this adds hard scoping on top — a presented
+// identity must own the job.
+func requesterTenant(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return r.URL.Query().Get("tenant")
+}
+
+// authorizedJob resolves {id} under the tenant scope. A mismatch is
+// reported exactly like an unknown ID so the endpoint is not an existence
+// oracle for other tenants' jobs.
+func (s *Server) authorizedJob(r *http.Request) (*Job, bool) {
 	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		return nil, false
+	}
+	if t := requesterTenant(r); t != "" && t != j.Tenant {
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.authorizedJob(r)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
 		return
@@ -717,12 +854,15 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	if !s.CancelJob(id) {
+	j, ok := s.authorizedJob(r)
+	if !ok {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
 		return
 	}
-	j, _ := s.Job(id)
+	if !s.CancelJob(j.ID) {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
 	writeJSON(w, http.StatusOK, j.status(false))
 }
 
