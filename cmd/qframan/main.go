@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"time"
 
+	"qframan/internal/cluster"
 	"qframan/internal/core"
 	"qframan/internal/faults"
 	"qframan/internal/obs"
@@ -46,6 +47,7 @@ func main() {
 	leaders := flag.Int("leaders", max(1, runtime.NumCPU()/2), "parallel leaders")
 	workers := flag.Int("workers", 2, "workers per leader")
 	kernelThreads := flag.Int("kernel-threads", 0, "intra-fragment kernel thread budget shared with the leader/worker fan-out (0 = GOMAXPROCS; results are bit-identical at any value)")
+	clusterAddr := flag.String("cluster", "", "dispatch fragments to a qfcoord coordinator at this address instead of computing in-process (results stay bit-identical)")
 	out := flag.String("o", "", "spectrum output TSV (default stdout)")
 
 	var ft faultFlags
@@ -71,7 +73,7 @@ func main() {
 		par.SetBudget(*kernelThreads)
 	}
 	if err := run(*in, *seq, *fold, *dimers, *waterBox, *solvate,
-		*fmin, *fmax, *fstep, *sigma, *k, *dense, *leaders, *workers, *out, *irOut, ft, cf, of); err != nil {
+		*fmin, *fmax, *fstep, *sigma, *k, *dense, *leaders, *workers, *clusterAddr, *out, *irOut, ft, cf, of); err != nil {
 		fmt.Fprintln(os.Stderr, "qframan:", err)
 		os.Exit(1)
 	}
@@ -240,7 +242,7 @@ func buildSystem(in, seq string, fold, dimers, waterBox int, solvate bool) (*str
 }
 
 func run(in, seq string, fold, dimers, waterBox int, solvate bool,
-	fmin, fmax, fstep, sigma float64, k int, dense bool, leaders, workers int, out, irOut string, ft faultFlags, cf cacheFlags, of obsFlags) error {
+	fmin, fmax, fstep, sigma float64, k int, dense bool, leaders, workers int, clusterAddr, out, irOut string, ft faultFlags, cf cacheFlags, of obsFlags) error {
 
 	sys, err := buildSystem(in, seq, fold, dimers, waterBox, solvate)
 	if err != nil {
@@ -269,6 +271,9 @@ func run(in, seq string, fold, dimers, waterBox int, solvate bool,
 	if err != nil {
 		return err
 	}
+	if clusterAddr != "" {
+		cfg.Sched.Backend = cluster.NewClient(clusterAddr)
+	}
 
 	t0 := time.Now()
 	res, err := core.ComputeRaman(sys, cfg)
@@ -291,6 +296,11 @@ func run(in, seq string, fold, dimers, waterBox int, solvate bool,
 		ss := cstore.Stats()
 		fmt.Fprintf(os.Stderr, "; store: %d objects, %d bytes, %.2fx dedup\n",
 			ss.Objects, ss.Bytes, ss.DedupRatio)
+	}
+	if clusterAddr != "" {
+		rep := res.SchedReport
+		fmt.Fprintf(os.Stderr, "cluster: %d unique fragments dispatched to %s; %d computed, %d tier hits, %d deduped in-run, %d reassigns\n",
+			rep.NumTasks, clusterAddr, rep.CacheMisses, rep.Resumed, rep.Deduped, rep.Requeues)
 	}
 	if rep := res.SchedReport; rep.Retries > 0 || rep.Requeues > 0 || rep.Panics > 0 || rep.Degraded {
 		fmt.Fprintf(os.Stderr, "faults: %d retries, %d straggler requeues, %d recovered panics\n",

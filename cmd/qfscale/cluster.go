@@ -1,0 +1,175 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"runtime"
+	"time"
+
+	"qframan/internal/cluster"
+	"qframan/internal/core"
+	"qframan/internal/geom"
+	"qframan/internal/obs"
+	"qframan/internal/store"
+	"qframan/internal/structure"
+)
+
+// clusterRun is one measured configuration of the distributed runtime.
+type clusterRun struct {
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Fragments   int     `json:"fragments"`
+	Unique      int     `json:"unique_fragments"`
+	Recomputes  uint64  `json:"cache_recomputes"`
+	CoordHits   uint64  `json:"cache_coord_hits"`
+	LocalHits   uint64  `json:"cache_local_hits"`
+	FetchHits   uint64  `json:"cache_fetch_hits"`
+	Reassigns   uint64  `json:"lease_reassigns"`
+	RPCBytesIn  int64   `json:"rpc_bytes_in"`
+	RPCBytesOut int64   `json:"rpc_bytes_out"`
+
+	intensity []float64
+}
+
+// clusterExp benchmarks the distributed runtime on the waterbox workload:
+// a paired 1-worker vs 4-worker loopback cluster (every process boundary
+// real TCP), recording wall-clock, per-tier cache hits, and RPC bytes on
+// the wire. Results land in BENCH_cluster.json.
+func clusterExp() error {
+	fmt.Println("Distributed runtime scaling (internal/cluster) on the waterbox workload.")
+	fmt.Println("Coordinator + N workers over loopback TCP, cold tiered caches each run.")
+
+	sys := structure.BuildWaterBox(2, 2, 2, geom.Vec3{})
+	fmt.Printf("system: %d water molecules, %d atoms\n", len(sys.Waters), sys.NumAtoms())
+
+	runs := make([]clusterRun, 0, 2)
+	for _, n := range []int{1, 4} {
+		r, err := runCluster(sys, n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %d worker(s): wall %6.2fs, %d unique of %d fragments, tiers: %d recomputed / %d coord / %d local / %d fetch, RPC %d B in / %d B out\n",
+			n, r.WallSeconds, r.Unique, r.Fragments, r.Recomputes, r.CoordHits, r.LocalHits, r.FetchHits, r.RPCBytesIn, r.RPCBytesOut)
+		runs = append(runs, *r)
+	}
+
+	bitIdentical := len(runs[0].intensity) == len(runs[1].intensity)
+	if bitIdentical {
+		for i := range runs[0].intensity {
+			if math.Float64bits(runs[0].intensity[i]) != math.Float64bits(runs[1].intensity[i]) {
+				bitIdentical = false
+				break
+			}
+		}
+	}
+	speedup := runs[0].WallSeconds / runs[1].WallSeconds
+	fmt.Printf("1→4 worker speedup: %.2fx; spectra bit-identical: %v\n", speedup, bitIdentical)
+	if !bitIdentical {
+		return fmt.Errorf("cluster bench: 1-worker and 4-worker spectra differ")
+	}
+
+	doc := map[string]any{
+		"description": "Distributed runtime scaling (internal/cluster): 2x2x2 water box dispatched by a qframan client through a loopback-TCP coordinator to 1 vs 4 worker daemons (2 leases x 2 displacement threads each), cold content-addressed stores on every node each run. Per-tier cache hits come from the coordinator's lease accounting; RPC bytes are the coordinator-side transport counters over all connections.",
+		"date":        time.Now().Format("2006-01-02"),
+		"host": map[string]any{
+			"goos": runtime.GOOS, "goarch": runtime.GOARCH,
+			"num_cpu": runtime.NumCPU(), "go": runtime.Version(),
+		},
+		"commands": []string{
+			"go run ./cmd/qfscale -exp cluster",
+		},
+		"results": map[string]any{
+			"runs":                  runs,
+			"speedup_1_to_4":        round2(speedup),
+			"spectra_bit_identical": bitIdentical,
+		},
+		"acceptance": fmt.Sprintf("4-worker loopback cluster vs 1 worker at equal per-worker width: %.2fx wall-clock, bit-identical spectrum", speedup),
+	}
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_cluster.json", append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("written: BENCH_cluster.json")
+	return nil
+}
+
+// runCluster executes one cold waterbox run through a loopback cluster of
+// n workers and collects the coordinator's accounting.
+func runCluster(sys *structure.System, n int) (*clusterRun, error) {
+	dir, err := os.MkdirTemp("", "qfscale-cluster-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	coordStore, err := store.Open(dir + "/coord")
+	if err != nil {
+		return nil, err
+	}
+	defer coordStore.Close()
+
+	reg := obs.NewRegistry()
+	co := cluster.NewCoordinator(cluster.CoordConfig{
+		Store:    coordStore,
+		Registry: reg,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go co.Serve(ln)
+	defer co.Close()
+	addr := ln.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < n; i++ {
+		wstore, err := store.Open(fmt.Sprintf("%s/worker%d", dir, i))
+		if err != nil {
+			return nil, err
+		}
+		defer wstore.Close()
+		w := cluster.NewWorker(cluster.WorkerConfig{
+			Addr:  addr,
+			Name:  fmt.Sprintf("bench-%d", i),
+			Slots: 2, Threads: 2,
+			Store: wstore,
+		})
+		go w.Run(ctx)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Raman.FreqMin, cfg.Raman.FreqMax, cfg.Raman.FreqStep = 50, 4000, 5
+	cfg.Raman.Sigma = 20
+	cfg.Raman.LanczosK = 120
+	cfg.Sched.Backend = cluster.NewClient(addr)
+
+	t0 := time.Now()
+	res, err := core.ComputeRaman(sys, cfg)
+	wall := time.Since(t0).Seconds()
+	if err != nil {
+		return nil, err
+	}
+	snap := co.Snapshot()
+	rep := res.SchedReport
+	return &clusterRun{
+		Workers:     n,
+		WallSeconds: round2(wall),
+		Fragments:   len(res.Decomposition.Fragments),
+		Unique:      rep.NumTasks,
+		Recomputes:  snap.Recomputes,
+		CoordHits:   snap.TierCoord,
+		LocalHits:   snap.TierLocal,
+		FetchHits:   snap.TierFetch,
+		Reassigns:   snap.Reassigns,
+		RPCBytesIn:  reg.Counter(obs.MetricClusterBytesIn).Value(),
+		RPCBytesOut: reg.Counter(obs.MetricClusterBytesOut).Value(),
+		intensity:   res.Spectrum.Intensity,
+	}, nil
+}

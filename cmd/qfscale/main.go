@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "fig8 | fig9 | fig10 | fig11 | table1 | kernels | all")
+	exp := flag.String("exp", "all", "fig8 | fig9 | fig10 | fig11 | table1 | kernels | cluster | all")
 	scale := flag.Int("scale", 16, "divide the published node and fragment counts by this factor (1 = full scale)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	withFaults := flag.Bool("faults", false, "inject node failures into the simulations (per-node MTBF from -mtbf)")
@@ -57,6 +57,11 @@ func main() {
 	// grid-mode waterbox run); it only runs when asked for by name.
 	if *exp == "kernels" {
 		run("kernels", kernels)
+	}
+	// The cluster experiment spins up real loopback TCP daemons and does
+	// full waterbox compute twice; it also only runs when named.
+	if *exp == "cluster" {
+		run("cluster", clusterExp)
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"qframan/internal/cluster"
 	"qframan/internal/par"
 	"qframan/internal/serve"
 	"qframan/internal/store"
@@ -49,6 +50,7 @@ func main() {
 	maxAtoms := flag.Int("max-atoms", serve.DefaultMaxAtomsPerJob, "admission bound on atoms per job")
 	tenants := flag.String("tenants", "", "fair-share weights, e.g. alice=3,bob=1 (unlisted tenants weigh 1)")
 	grace := flag.Duration("grace", 30*time.Second, "drain grace period on SIGTERM/SIGINT")
+	clusterAddr := flag.String("cluster", "", "dispatch every job's fragments to a qfcoord coordinator at this address instead of computing in-process")
 	bench := flag.Bool("bench", false, "run the sustained serving benchmark and write BENCH_serve.json")
 	benchJobs := flag.Int("bench-jobs", 12, "benchmark job count")
 	flag.Parse()
@@ -79,6 +81,9 @@ func main() {
 		}
 		defer st.Close()
 		cfg.Store = st
+	}
+	if *clusterAddr != "" {
+		cfg.Backend = cluster.NewClient(*clusterAddr)
 	}
 
 	if *bench {

@@ -17,6 +17,10 @@
 // qframan -trace-out: per-DFPT-phase latency percentiles (p50/p95/p99), the
 // top-10 slowest fragments with their attempt/cycle/cache provenance, and a
 // flame-style aggregation by span path.
+//
+// With -cluster <addr> the command queries a live qfcoord coordinator for
+// its metrics snapshot: per-worker fragment counts, lease reassignments,
+// and cache-tier hit ratios of the distributed runtime.
 package main
 
 import (
@@ -34,6 +38,7 @@ import (
 func main() {
 	storeDir := flag.String("store", "", "inspect this qframan checkpoint store instead of computing system statistics")
 	traceIn := flag.String("trace", "", "summarize this Chrome trace JSON (as written by qframan -trace-out)")
+	clusterAddr := flag.String("cluster", "", "query a live qfcoord coordinator at this address for its metrics snapshot")
 	residues := flag.Int("residues", 3180, "total residues across the trimer (paper: 3,180)")
 	chains := flag.Int("chains", 3, "number of chains (paper: trimer)")
 	fold := flag.Int("fold", 24, "serpentine fold period per chain")
@@ -42,6 +47,13 @@ func main() {
 	lambda := flag.Float64("lambda", 4.0, "two-body threshold λ in Å")
 	flag.Parse()
 
+	if *clusterAddr != "" {
+		if err := clusterStats(*clusterAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "qfstats:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *traceIn != "" {
 		if err := traceStats(*traceIn); err != nil {
 			fmt.Fprintln(os.Stderr, "qfstats:", err)

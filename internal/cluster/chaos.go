@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"time"
+
+	"qframan/internal/faults"
+)
+
+// FramePlan is the injector's verdict for one outbound frame. At most one
+// destructive action applies per frame (Sever wins over Drop over
+// Corrupt); Delay composes with any of them.
+type FramePlan struct {
+	// Drop swallows the frame: the peer never sees it (lossy network).
+	Drop bool
+	// Corrupt flips one payload bit before sending; the peer's CRC check
+	// rejects the frame and the connection is dropped.
+	Corrupt bool
+	// Sever closes the connection instead of writing (network partition /
+	// peer death as seen from this side).
+	Sever bool
+	// Delay stalls the write (congestion, slow link).
+	Delay time.Duration
+}
+
+// FrameInjector decides the fate of each outbound frame. seq is the
+// connection's outbound frame counter, so a deterministic injector
+// reproduces the same fault schedule run after run.
+type FrameInjector interface {
+	PlanFrame(seq int, t MsgType) FramePlan
+}
+
+// ChaosConfig is the deterministic frame-level injector: each rate is a
+// probability evaluated against an independent faults.Uniform draw keyed
+// by (Seed, seq, message type), so the schedule is a pure function of the
+// seed — the same discipline as the scheduler's attempt-level injector.
+type ChaosConfig struct {
+	Seed int64
+	// DropRate is the probability of swallowing a frame.
+	DropRate float64
+	// CorruptRate is the probability of flipping a payload bit.
+	CorruptRate float64
+	// SeverRate is the probability of closing the connection instead of
+	// writing.
+	SeverRate float64
+	// DelayRate and Delay stall a frame's write.
+	DelayRate float64
+	Delay     time.Duration
+	// Protect exempts message types from destructive faults (e.g. keep
+	// the handshake clean so a test exercises steady-state recovery, not
+	// connect storms). Delay still applies.
+	Protect map[MsgType]bool
+}
+
+// Draw salts, one per fault class (arbitrary distinct constants).
+const (
+	saltDrop = iota + 0x6200
+	saltCorrupt
+	saltSever
+	saltDelay
+)
+
+// PlanFrame implements FrameInjector.
+func (c ChaosConfig) PlanFrame(seq int, t MsgType) FramePlan {
+	var plan FramePlan
+	if c.DelayRate > 0 && faults.Uniform(c.Seed, seq, int(t), saltDelay) < c.DelayRate {
+		plan.Delay = c.Delay
+	}
+	if c.Protect[t] {
+		return plan
+	}
+	switch {
+	case c.SeverRate > 0 && faults.Uniform(c.Seed, seq, int(t), saltSever) < c.SeverRate:
+		plan.Sever = true
+	case c.DropRate > 0 && faults.Uniform(c.Seed, seq, int(t), saltDrop) < c.DropRate:
+		plan.Drop = true
+	case c.CorruptRate > 0 && faults.Uniform(c.Seed, seq, int(t), saltCorrupt) < c.CorruptRate:
+		plan.Corrupt = true
+	}
+	return plan
+}

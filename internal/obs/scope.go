@@ -44,6 +44,24 @@ const (
 	MetricParInline      = "par_inline_total"
 	MetricParWorkersBusy = "par_workers_busy"
 	MetricParJobWidth    = "par_job_width"
+	// Distributed-runtime metrics recorded by internal/cluster (see
+	// DESIGN.md §9). The per-worker and per-RPC series derive from these
+	// via Registry.WithLabel ({worker="..."} / {rpc="..."}).
+	MetricClusterWorkers      = "cluster_workers_connected"
+	MetricClusterLeases       = "cluster_leases_total"
+	MetricClusterReassigns    = "cluster_lease_reassigns_total"
+	MetricClusterDupResults   = "cluster_duplicate_results_total"
+	MetricClusterFrameErrors  = "cluster_frame_errors_total"
+	MetricClusterBytesIn      = "cluster_rpc_in_bytes_total"
+	MetricClusterBytesOut     = "cluster_rpc_out_bytes_total"
+	MetricClusterFrames       = "cluster_rpc_frames_total"
+	MetricClusterLocalHits    = "cluster_cache_local_hits_total"
+	MetricClusterCoordHits    = "cluster_cache_coord_hits_total"
+	MetricClusterFetchHits    = "cluster_cache_fetch_hits_total"
+	MetricClusterRecomputes   = "cluster_cache_recomputes_total"
+	MetricClusterTaskFails    = "cluster_task_failures_total"
+	MetricClusterWorkerFrags  = "cluster_worker_fragments_total"
+	MetricClusterLeaseSeconds = "cluster_lease_seconds"
 	// Per-phase duration histograms: dfpt_phase_<name>_seconds.
 	metricPhasePrefix = "dfpt_phase_"
 	metricPhaseSuffix = "_seconds"

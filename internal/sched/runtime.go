@@ -70,6 +70,23 @@ type Options struct {
 	// scope is threaded down to the SCF/DFPT engine for per-phase spans.
 	// The zero Scope disables all of it.
 	Obs obs.Scope
+	// Backend, when non-nil, replaces the in-process leader/worker fan-out
+	// with a pluggable dispatch backend — Run delegates the whole fragment
+	// loop to it. internal/cluster.Client implements this to fan fragments
+	// out to remote worker daemons over the wire (qframan -cluster);
+	// in-process options that configure the goroutine runtime (Prefetch,
+	// StragglerTimeout, Injector, MaxFailedFragments) do not apply, while
+	// Job, Cancel, and Obs are honored by every backend.
+	Backend Backend
+}
+
+// Backend is a pluggable dispatch backend for the fragment loop: it receives
+// the full decomposition and must return per-fragment data in decomposition
+// order, exactly as the in-process runtime would. Implementations must
+// preserve the determinism contract — results bit-identical to the
+// in-process store-backed run — and honor Options.Cancel.
+type Backend interface {
+	Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Report, error)
 }
 
 // ProcessFunc is the fragment-engine signature of Options.Process.
@@ -196,6 +213,9 @@ const dedupWaitTick = 2 * time.Millisecond
 // fail-soft budget (Options.MaxFailedFragments > 0) the returned slice may
 // contain nils exactly at Report.Failed.
 func Run(dec *fragment.Decomposition, opt Options) ([]*hessian.FragmentData, *Report, error) {
+	if opt.Backend != nil {
+		return opt.Backend.Run(dec, opt)
+	}
 	if opt.NumLeaders <= 0 || opt.WorkersPerLeader <= 0 {
 		return nil, nil, fmt.Errorf("sched: need at least one leader and one worker")
 	}

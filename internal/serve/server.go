@@ -112,6 +112,12 @@ type Config struct {
 	// Process overrides the fragment engine (tests, custom backends); nil
 	// selects sched.DefaultProcess, the real SCF+DFPT pipeline.
 	Process sched.ProcessFunc
+	// Backend, when non-nil, replaces every job's in-process fragment
+	// loop with a pluggable dispatch backend (e.g. cluster.NewClient to
+	// fan fragments out to a qfcoord cluster). Results stay bit-identical
+	// by the backend contract; Process and MaxInflightFragments do not
+	// apply to backend-dispatched jobs.
+	Backend sched.Backend
 	// SkipSpectrum stops jobs after the fragment loop: no Hessian
 	// assembly, no spectrum. Test engines producing synthetic
 	// FragmentData use it; the report and dedup accounting still flow.
@@ -483,6 +489,7 @@ func (s *Server) execute(j *Job) (*ReportSummary, *SpectrumPayload, error) {
 	opt.Cancel = j.cancel
 	opt.Process = s.gatedProcess(j, s.cfg.Process)
 	opt.Cache = sched.CacheOptions{Store: s.cfg.Store, Resume: true}
+	opt.Backend = s.cfg.Backend
 	jobReg := s.reg.WithLabel("job", j.ID).WithLabel("tenant", j.Tenant)
 	opt.Obs = obs.NewScope(nil, jobReg)
 

@@ -65,7 +65,12 @@ type entry struct {
 	// fresh marks objects written (or overwritten) by this process, whose
 	// bytes this run has vouched for.
 	fresh bool
-	refs  int
+	// writing marks an entry whose object commit is still in flight (WAL
+	// line appended, rename pending). A Get that misses the file must not
+	// evict such an entry — the rename is about to land — or the
+	// manifest-repair path could double-count the racing put.
+	writing bool
+	refs    int
 }
 
 const (
@@ -237,24 +242,51 @@ func (s *Store) Put(k Key, fr Frame, fd *hessian.FragmentData) (*hessian.Fragmen
 	if err != nil {
 		return nil, err
 	}
+	// The index entry is registered in the same critical section as the
+	// manifest append, *before* the object write: once the renamed object is
+	// visible to a concurrent Get, the index already knows the key, so the
+	// manifest-repair ("adoption") path in Get can never double-count a
+	// result that a racing Put is in the middle of committing. A Get landing
+	// inside the write window sees entry-without-object and degrades to a
+	// clean miss, exactly like a crash between the WAL line and the rename.
+	if err := s.registerPut(k, fr.NAtoms, int64(len(blob))); err != nil {
+		return nil, err
+	}
+	if err := s.commitObject(k, blob); err != nil {
+		return nil, err
+	}
+	return fr.FromCanonical(canon)
+}
+
+// registerPut appends the WAL line of one put and registers its index entry
+// atomically with respect to every other index reader, with the write-in-
+// flight marker set; commitObject clears it once the rename lands.
+func (s *Store) registerPut(k Key, natoms int, size int64) error {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.logical++
-	err = s.appendLine(fmt.Sprintf("put %s %d %d", k.String(), fr.NAtoms, len(blob)))
-	s.mu.Unlock()
-	if err != nil {
-		return nil, err
+	if err := s.appendLine(fmt.Sprintf("put %s %d %d", k.String(), natoms, size)); err != nil {
+		return err
 	}
-	if err := s.writeObject(k, blob); err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
 	prior := false
 	if e := s.idx[k]; e != nil {
 		prior = e.prior
 	}
-	s.idx[k] = &entry{natoms: fr.NAtoms, bytes: int64(len(blob)), prior: prior, fresh: true}
+	s.idx[k] = &entry{natoms: natoms, bytes: size, prior: prior, fresh: true, writing: true}
+	return nil
+}
+
+// commitObject writes the object and clears the entry's in-flight marker
+// whether or not the write succeeded (a failed write leaves an entry whose
+// next Get degrades to an evicting miss — the crash-consistency state (b)).
+func (s *Store) commitObject(k Key, blob []byte) error {
+	err := s.writeObject(k, blob)
+	s.mu.Lock()
+	if e := s.idx[k]; e != nil {
+		e.writing = false
+	}
 	s.mu.Unlock()
-	return fr.FromCanonical(canon)
+	return err
 }
 
 // writeObject lands a record atomically: temp file in the objects tree,
@@ -308,7 +340,7 @@ func (s *Store) Get(k Key, fr Frame) (*hessian.FragmentData, bool, error) {
 	blob, err := os.ReadFile(s.objectPath(k))
 	if os.IsNotExist(err) {
 		if ok {
-			s.evict(k)
+			s.evictMissing(k)
 		}
 		return nil, false, nil
 	}
@@ -355,9 +387,79 @@ func (s *Store) Get(k Key, fr Frame) (*hessian.FragmentData, bool, error) {
 	return fd, prior, nil
 }
 
+// GetRaw serves the validated canonical record bytes for k — the peer-fetch
+// path of the cluster's tiered cache (DESIGN.md §9): record blobs travel
+// CRC-guarded end to end between worker-local stores and the coordinator
+// store without a decode/re-encode at each hop. The blob is fully validated
+// (magic, CRC, structure) before it is returned; a corrupt object is evicted
+// and reported as ErrCorrupt exactly like Get. A clean miss returns
+// (nil, false, nil). No ref line is appended: a raw read is peer transport,
+// not a logical fragment completion.
+func (s *Store) GetRaw(k Key) ([]byte, bool, error) {
+	s.mu.Lock()
+	_, ok := s.idx[k]
+	s.mu.Unlock()
+	blob, err := os.ReadFile(s.objectPath(k))
+	if os.IsNotExist(err) {
+		if ok {
+			s.evictMissing(k)
+		}
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	if _, err := Decode(blob); err != nil {
+		s.evict(k)
+		os.Remove(s.objectPath(k))
+		return nil, false, err
+	}
+	return blob, true, nil
+}
+
+// PutRaw lands a canonical record blob received from a peer under its key:
+// the blob is validated (magic, CRC, structure) before anything is written,
+// then committed with the same manifest-line + temp-file + fsync + rename
+// discipline as Put. natoms feeds the manifest's size histogram. Unlike Put
+// no frame rotation happens — the blob is already in the canonical frame.
+func (s *Store) PutRaw(k Key, natoms int, blob []byte) error {
+	fd, err := Decode(blob)
+	if err != nil {
+		return err
+	}
+	if fd.NumAtoms() != natoms {
+		return fmt.Errorf("%w: blob holds %d atoms, manifest claim is %d", ErrCorrupt, fd.NumAtoms(), natoms)
+	}
+	s.mu.Lock()
+	if e := s.idx[k]; e != nil && e.fresh {
+		// Already vouched for by this process: record the logical serve only.
+		e.refs++
+		s.logical++
+		err := s.appendLine("ref " + k.String())
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Unlock()
+	if err := s.registerPut(k, natoms, int64(len(blob))); err != nil {
+		return err
+	}
+	return s.commitObject(k, blob)
+}
+
 func (s *Store) evict(k Key) {
 	s.mu.Lock()
 	delete(s.idx, k)
+	s.mu.Unlock()
+}
+
+// evictMissing drops an index entry whose object file is absent — unless the
+// entry's object commit is still in flight (the racing put's rename is about
+// to make the file appear, so the miss is transient, not damage).
+func (s *Store) evictMissing(k Key) {
+	s.mu.Lock()
+	if e := s.idx[k]; e != nil && !e.writing {
+		delete(s.idx, k)
+	}
 	s.mu.Unlock()
 }
 
