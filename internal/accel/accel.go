@@ -69,6 +69,11 @@ type Stats struct {
 	// HostTime/DeviceTime are modeled times under the cost model.
 	HostTime   time.Duration
 	DeviceTime time.Duration
+	// MeasuredHostTime is the wall time the host actually spent executing
+	// the numerics (batched blocked kernels, internal/linalg). Comparing it
+	// against the modeled times validates the profitability model against
+	// the machine it runs on rather than trusting the calibration constants.
+	MeasuredHostTime time.Duration
 	// FLOPs moved to the device vs kept on host.
 	OffloadedFLOPs int64
 	HostFLOPs      int64
@@ -78,6 +83,18 @@ type Stats struct {
 // phases are serialized, matching the synchronous offload of the paper's
 // per-strip execution).
 func (s *Stats) ModeledTime() time.Duration { return s.HostTime + s.DeviceTime }
+
+// MeasuredVsModeled returns the ratio of measured host execution time to
+// the modeled total — the batch-profitability calibration figure (>1 means
+// the cost model is optimistic about this host, <1 pessimistic). Zero when
+// nothing has been modeled yet.
+func (s *Stats) MeasuredVsModeled() float64 {
+	m := s.ModeledTime()
+	if m == 0 {
+		return 0
+	}
+	return float64(s.MeasuredHostTime) / float64(m)
+}
 
 // Options tunes the elastic batching decisions.
 type Options struct {
@@ -150,9 +167,14 @@ func (e *BatchingExecutor) pad(v int) int {
 // Execute runs all calls on the host (numerics) and accumulates the modeled
 // cost of the chosen offload strategy.
 func (e *BatchingExecutor) Execute(calls []linalg.GemmCall) {
+	t0 := time.Now()
 	e.host.Execute(calls) // numerics: always exact, always on host
+	measured := time.Since(t0)
+	e.Stats.MeasuredHostTime += measured
 	e.Stats.GEMMs += int64(len(calls))
-	e.phaseStats().GEMMs += int64(len(calls))
+	ps := e.phaseStats()
+	ps.MeasuredHostTime += measured
+	ps.GEMMs += int64(len(calls))
 
 	if !e.Opt.Offload {
 		for i := range calls {

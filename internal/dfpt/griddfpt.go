@@ -229,7 +229,11 @@ func (e *gridEnv) addGridResponse(m *scf.Model, p1, h1 *linalg.Matrix, dir int, 
 				}
 				h1batches[bi] = h1Batch{bi: bi, mats: []*linalg.Matrix{bm}}
 			} else {
-				// Naive: Xᵀ(VX) + Xᵀ(V∇X) + ∇Xᵀ(VX) — three GEMMs.
+				// Naive: Xᵀ(VX) + Xᵀ(V∇X) + (V∇X)ᵀX — three GEMMs. The third
+				// term is ∇Xᵀ·V·X written with V absorbed into ∇X, which
+				// makes it the literal operand-swapped transpose pair of the
+				// second call — the pattern the batch planner's §V-D strength
+				// reduction detects and replaces with a bit-exact copy.
 				vx := linalg.NewMatrix(npts, nloc)
 				vgx := linalg.NewMatrix(npts, nloc)
 				for p := 0; p < npts; p++ {
@@ -246,7 +250,7 @@ func (e *gridEnv) addGridResponse(m *scf.Model, p1, h1 *linalg.Matrix, dir int, 
 				tb := 8*int64(npts) + h1Share
 				h1calls[3*bi] = linalg.GemmCall{TransA: true, Alpha: 1, A: b.x, B: vx, C: m1, TransferBytes: tb}
 				h1calls[3*bi+1] = linalg.GemmCall{TransA: true, Alpha: 1, A: b.x, B: vgx, C: m2, TransferBytes: tb}
-				h1calls[3*bi+2] = linalg.GemmCall{TransA: true, Alpha: 1, A: b.gx[dir], B: vx, C: m3, TransferBytes: tb}
+				h1calls[3*bi+2] = linalg.GemmCall{TransA: true, Alpha: 1, A: vgx, B: b.x, C: m3, TransferBytes: tb}
 				h1batches[bi] = h1Batch{bi: bi, mats: []*linalg.Matrix{m1, m2, m3}}
 			}
 		}
@@ -270,7 +274,8 @@ func (e *gridEnv) addGridResponse(m *scf.Model, p1, h1 *linalg.Matrix, dir int, 
 				if opt.StrengthReduction {
 					v = hb.mats[0].At(i, j) + hb.mats[0].At(j, i)
 				} else {
-					// m1 symmetric + m2 + m3 where m3 = m2ᵀ exactly.
+					// m1 symmetric + m2 + m3, where m3 = m2ᵀ bit for bit
+					// (whether the planner skipped it or computed it).
 					v = hb.mats[0].At(i, j) + hb.mats[1].At(i, j) + hb.mats[2].At(i, j)
 				}
 				h1.Add(gi, gj, v)

@@ -24,21 +24,30 @@ func (s *Sparse) Dim() int { return s.N }
 // NNZ returns the number of stored nonzeros.
 func (s *Sparse) NNZ() int { return len(s.Val) }
 
-// MulVec computes y = S·x, row-sharded across the kernel pool. Each row's
-// accumulation runs serially in column order exactly as before, so results
-// are bit-identical to the serial product at any width — the property the
-// Lanczos recurrence's bit-reproducibility rests on.
+// MulVec computes y = S·x, row-sharded across the kernel pool. Each row
+// accumulates in four independent chains over its column range — the fixed
+// association depends only on the row's nonzero count, so results are
+// bit-identical at any width — the property the Lanczos recurrence's
+// bit-reproducibility rests on.
 func (s *Sparse) MulVec(x, y []float64) {
 	if len(x) != s.N || len(y) != s.N {
 		panic("hessian: MulVec dimension mismatch")
 	}
 	par.For("spmv", s.N, 2048, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			var acc float64
-			for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
-				acc += s.Val[k] * x[s.Col[k]]
+			k, end := s.RowPtr[i], s.RowPtr[i+1]
+			var s0, s1, s2, s3 float64
+			for ; k+3 < end; k += 4 {
+				s0 += s.Val[k] * x[s.Col[k]]
+				s1 += s.Val[k+1] * x[s.Col[k+1]]
+				s2 += s.Val[k+2] * x[s.Col[k+2]]
+				s3 += s.Val[k+3] * x[s.Col[k+3]]
 			}
-			y[i] = acc
+			var st float64
+			for ; k < end; k++ {
+				st += s.Val[k] * x[s.Col[k]]
+			}
+			y[i] = ((s0 + s1) + (s2 + s3)) + st
 		}
 	})
 }

@@ -18,6 +18,10 @@ type Ops struct {
 	GEMVCalls  atomic.Int64
 	FLOPs      atomic.Int64
 	BatchCalls atomic.Int64 // batched-GEMM workloads issued to an accelerator
+	// TransposeSkips counts GEMMs the batch planner never executed because
+	// their result is the exact transpose of another call in the same batch
+	// (§V-D strength reduction); the skipped FLOPs are excluded from FLOPs.
+	TransposeSkips atomic.Int64
 }
 
 // Reset zeroes all counters.
@@ -26,6 +30,7 @@ func (o *Ops) Reset() {
 	o.GEMVCalls.Store(0)
 	o.FLOPs.Store(0)
 	o.BatchCalls.Store(0)
+	o.TransposeSkips.Store(0)
 }
 
 // Snapshot returns the current counter values.
@@ -54,13 +59,29 @@ func gemmMinRows(k, n int) int {
 	return 1 + 16*1024/rowFLOPs
 }
 
+// gemmParName labels the par region per trans case so the observability
+// breakdown keeps its historical kernel names.
+func gemmParName(transA, transB bool) string {
+	switch {
+	case !transA && !transB:
+		return "gemm_nn"
+	case transA && !transB:
+		return "gemm_tn"
+	case !transA && transB:
+		return "gemm_nt"
+	default:
+		return "gemm_tt"
+	}
+}
+
 // Gemm computes C = alpha·op(A)·op(B) + beta·C where op is identity or
 // transpose according to transA/transB. Shapes are validated against C.
-// All four trans cases iterate output rows in the outer loop, so the kernel
-// row-shards across the par pool; each output element accumulates its k
-// terms in ascending order regardless of sharding, which keeps results
-// bit-identical to the serial kernel at any width. The row chunks double as
-// cache tiles: a chunk's slice of A and C stays resident while B streams.
+// All four trans cases run the packed blocked kernel (block.go): op(A) and
+// op(B) are packed into 4×4 micro-tile panels and each output element
+// accumulates its k terms in ascending order in a single chain, so results
+// are bit-identical at any kernel width, with batching on or off, and to the
+// naive triple-loop reference. Row-panel chunks shard across the par pool
+// and double as cache tiles.
 func Gemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix, ops *Ops) {
 	am, ak := a.Rows, a.Cols
 	if transA {
@@ -79,80 +100,8 @@ func Gemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Mat
 	ops.GEMMCalls.Add(1)
 	ops.FLOPs.Add(GemmFLOPs(am, ak, bn))
 
-	if beta == 0 {
-		c.Zero()
-	} else if beta != 1 {
-		c.Scale(beta)
-	}
-
-	minRows := gemmMinRows(ak, bn)
-	switch {
-	case !transA && !transB:
-		par.For("gemm_nn", am, minRows, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				arow := a.Row(i)
-				crow := c.Row(i)
-				for k := 0; k < ak; k++ {
-					v := alpha * arow[k]
-					if v == 0 {
-						continue
-					}
-					brow := b.Row(k)
-					for j, bv := range brow {
-						crow[j] += v * bv
-					}
-				}
-			}
-		})
-	case transA && !transB:
-		// C[i][j] += alpha * A[k][i] * B[k][j], k ascending per element.
-		par.For("gemm_tn", am, minRows, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				crow := c.Row(i)
-				for k := 0; k < ak; k++ {
-					v := alpha * a.Data[k*a.Cols+i]
-					if v == 0 {
-						continue
-					}
-					brow := b.Row(k)
-					for j, bv := range brow {
-						crow[j] += v * bv
-					}
-				}
-			}
-		})
-	case !transA && transB:
-		// C[i][j] += alpha * A[i][k] * B[j][k]
-		par.For("gemm_nt", am, minRows, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				arow := a.Row(i)
-				crow := c.Row(i)
-				for j := 0; j < bn; j++ {
-					brow := b.Row(j)
-					var s float64
-					for k, av := range arow {
-						s += av * brow[k]
-					}
-					crow[j] += alpha * s
-				}
-			}
-		})
-	default: // transA && transB
-		// C[i][j] += alpha * A[k][i] * B[j][k]
-		par.For("gemm_tt", am, minRows, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				crow := c.Row(i)
-				for j := 0; j < bn; j++ {
-					brow := b.Row(j)
-					var s float64
-					for k := 0; k < ak; k++ {
-						s += a.Data[k*a.Cols+i] * brow[k]
-					}
-					crow[j] += alpha * s
-				}
-			}
-		})
-	}
+	gemmBlocked(transA, transB, alpha, a, b, beta, c, am, ak, bn,
+		gemmParName(transA, transB), false)
 }
 
 // MatMul returns op(A)·op(B) as a new matrix (alpha=1, beta=0).

@@ -1,0 +1,235 @@
+package linalg_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"qframan/internal/linalg"
+	"qframan/internal/linalg/gemmref"
+)
+
+// The differential harness: the packed blocked kernel (and the batch path
+// built on it) must reproduce the naive triple-loop reference bit for bit —
+// not approximately — for every trans case, over ragged shapes from 1×1 up
+// through sizes straddling the micro-tile and 32-padding boundaries.
+
+// fillMat populates a matrix with a mix of magnitudes, signs, and exact
+// values (0, powers of two) so bit-level discrepancies have terms to bite on.
+func fillMat(m *linalg.Matrix, rng *rand.Rand) {
+	for i := range m.Data {
+		switch rng.Intn(10) {
+		case 0:
+			m.Data[i] = 0
+		case 1:
+			m.Data[i] = math.Ldexp(1, rng.Intn(40)-20) // exact power of two
+		case 2:
+			m.Data[i] = -rng.Float64() * 1e8
+		case 3:
+			m.Data[i] = rng.Float64() * 1e-8
+		default:
+			m.Data[i] = rng.NormFloat64()
+		}
+	}
+}
+
+// bitEqual reports exact bitwise equality (NaN-safe via Float64bits).
+func bitEqual(a, b []float64) (int, bool) {
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return i, false
+		}
+	}
+	return -1, true
+}
+
+// refGemm runs the reference on linalg matrices.
+func refGemm(transA, transB bool, alpha float64, a, b *linalg.Matrix, beta float64, c *linalg.Matrix) {
+	gemmref.Gemm(transA, transB, alpha,
+		a.Data, a.Rows, a.Cols,
+		b.Data, b.Rows, b.Cols,
+		beta,
+		c.Data, c.Rows, c.Cols)
+}
+
+// diffShapes is the ragged-shape sweep: 1×1, degenerate edges, shapes around
+// the 4×2 register tile, and odd sizes straddling the 32-padding boundary
+// (31/32/33) plus a grid-batch-like tall-skinny case.
+var diffShapes = [][3]int{
+	{1, 1, 1}, {1, 5, 1}, {5, 1, 3}, {2, 3, 1},
+	{3, 4, 2}, {4, 4, 4}, {5, 7, 3}, {7, 5, 9},
+	{8, 8, 8}, {9, 2, 11}, {13, 17, 6},
+	{31, 31, 31}, {32, 32, 32}, {33, 33, 33},
+	{31, 33, 32}, {33, 32, 31}, {32, 31, 33},
+	{65, 3, 34}, {216, 40, 40}, {37, 64, 1},
+}
+
+// TestGemmMatchesReferenceBitwise sweeps every trans case, alpha/beta
+// combination, and ragged shape, demanding exact bit equality with the
+// naive reference.
+func TestGemmMatchesReferenceBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	alphaBetas := [][2]float64{{1, 0}, {-0.5, 0}, {1, 1}, {2.25, -1.5}, {0, 0.5}}
+	for _, sh := range diffShapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		for ti, tc := range [][2]bool{{false, false}, {true, false}, {false, true}, {true, true}} {
+			transA, transB := tc[0], tc[1]
+			for _, ab := range alphaBetas {
+				alpha, beta := ab[0], ab[1]
+				ar, ac := m, k
+				if transA {
+					ar, ac = k, m
+				}
+				br, bc := k, n
+				if transB {
+					br, bc = n, k
+				}
+				a := linalg.NewMatrix(ar, ac)
+				b := linalg.NewMatrix(br, bc)
+				fillMat(a, rng)
+				fillMat(b, rng)
+				c := linalg.NewMatrix(m, n)
+				fillMat(c, rng) // nonzero initial C exercises the beta path
+				want := c.Clone()
+
+				linalg.Gemm(transA, transB, alpha, a, b, beta, c, nil)
+				refGemm(transA, transB, alpha, a, b, beta, want)
+
+				if i, ok := bitEqual(c.Data, want.Data); !ok {
+					t.Fatalf("shape %dx%dx%d trans case %d alpha=%g beta=%g: C[%d] = %x, reference %x",
+						m, k, n, ti, alpha, beta, i, math.Float64bits(c.Data[i]), math.Float64bits(want.Data[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestGemmSyrkPathMatchesReference pins the symmetry-aware half-compute
+// path (A == B, opposite trans, beta == 0) to the reference bitwise,
+// including the mirrored upper triangle.
+func TestGemmSyrkPathMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, sh := range [][2]int{{1, 1}, {3, 5}, {7, 2}, {31, 9}, {33, 40}, {64, 17}} {
+		m, k := sh[0], sh[1]
+		for _, tc := range [][2]bool{{false, true}, {true, false}} {
+			transA, transB := tc[0], tc[1]
+			ar, ac := m, k
+			if transA {
+				ar, ac = k, m
+			}
+			a := linalg.NewMatrix(ar, ac)
+			fillMat(a, rng)
+			c := linalg.NewMatrix(m, m)
+			want := linalg.NewMatrix(m, m)
+			linalg.Gemm(transA, transB, 1, a, a, 0, c, nil)
+			refGemm(transA, transB, 1, a, a, 0, want)
+			if i, ok := bitEqual(c.Data, want.Data); !ok {
+				t.Fatalf("syrk %dx%d transA=%v: C[%d] differs from reference", m, k, transA, i)
+			}
+		}
+	}
+}
+
+// TestExecuteBatchedMatchesReference runs mixed-shape, mixed-trans batches
+// through the batch path — batching on and off — against the reference.
+func TestExecuteBatchedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	var calls []linalg.GemmCall
+	var want []*linalg.Matrix
+	for _, sh := range diffShapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		transA := rng.Intn(2) == 0
+		transB := rng.Intn(2) == 0
+		ar, ac := m, k
+		if transA {
+			ar, ac = k, m
+		}
+		br, bc := k, n
+		if transB {
+			br, bc = n, k
+		}
+		a := linalg.NewMatrix(ar, ac)
+		b := linalg.NewMatrix(br, bc)
+		fillMat(a, rng)
+		fillMat(b, rng)
+		calls = append(calls, linalg.GemmCall{
+			TransA: transA, TransB: transB, Alpha: 1.5, A: a, B: b,
+			C: linalg.NewMatrix(m, n),
+		})
+		w := linalg.NewMatrix(m, n)
+		refGemm(transA, transB, 1.5, a, b, 0, w)
+		want = append(want, w)
+	}
+	for _, batching := range []bool{true, false} {
+		t.Run(fmt.Sprintf("batching=%v", batching), func(t *testing.T) {
+			old := linalg.GemmBatching()
+			defer linalg.SetGemmBatching(old)
+			linalg.SetGemmBatching(batching)
+			for i := range calls {
+				calls[i].C.Zero()
+			}
+			linalg.ExecuteBatched(calls, nil)
+			for i := range calls {
+				if j, ok := bitEqual(calls[i].C.Data, want[i].Data); !ok {
+					t.Fatalf("call %d: C[%d] differs from reference", i, j)
+				}
+			}
+		})
+	}
+}
+
+// TestTransposePairSkipBitExact builds a batch with a literal transpose
+// pair (the dfpt naive-h1 pattern) and checks that the skipped call's
+// result is bit-identical to executing it, and that the skip was counted.
+func TestTransposePairSkipBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	x := linalg.NewMatrix(57, 13) // npts×nloc, odd sizes
+	v := linalg.NewMatrix(57, 13)
+	fillMat(x, rng)
+	fillMat(v, rng)
+
+	run := func(batching bool) (*linalg.Matrix, *linalg.Matrix, int64) {
+		old := linalg.GemmBatching()
+		defer linalg.SetGemmBatching(old)
+		linalg.SetGemmBatching(batching)
+		m2 := linalg.NewMatrix(13, 13)
+		m3 := linalg.NewMatrix(13, 13)
+		var ops linalg.Ops
+		linalg.ExecuteBatched([]linalg.GemmCall{
+			{TransA: true, Alpha: 1, A: x, B: v, C: m2},
+			{TransA: true, Alpha: 1, A: v, B: x, C: m3},
+		}, &ops)
+		return m2, m3, ops.TransposeSkips.Load()
+	}
+
+	m2on, m3on, skipsOn := run(true)
+	m2off, m3off, skipsOff := run(false)
+
+	if skipsOn != 1 {
+		t.Fatalf("batching on: TransposeSkips = %d, want 1", skipsOn)
+	}
+	if skipsOff != 0 {
+		t.Fatalf("batching off: TransposeSkips = %d, want 0", skipsOff)
+	}
+	if i, ok := bitEqual(m2on.Data, m2off.Data); !ok {
+		t.Fatalf("m2 differs between batching on/off at %d", i)
+	}
+	if i, ok := bitEqual(m3on.Data, m3off.Data); !ok {
+		t.Fatalf("m3 (skipped vs executed) differs at %d", i)
+	}
+	// And both match the reference.
+	want := linalg.NewMatrix(13, 13)
+	refGemm(true, false, 1, v, x, 0, want)
+	if i, ok := bitEqual(m3on.Data, want.Data); !ok {
+		t.Fatalf("skipped m3 differs from reference at %d", i)
+	}
+	// The skipped result is the exact transpose of its source.
+	for i := 0; i < 13; i++ {
+		for j := 0; j < 13; j++ {
+			if math.Float64bits(m3on.At(i, j)) != math.Float64bits(m2on.At(j, i)) {
+				t.Fatalf("m3[%d,%d] != m2[%d,%d] bitwise", i, j, j, i)
+			}
+		}
+	}
+}

@@ -1,7 +1,5 @@
 package linalg
 
-import "qframan/internal/par"
-
 // GemmCall is one deferred GEMM invocation: C = alpha·op(A)·op(B) + beta·C.
 // The DFPT grid phases produce thousands of small, mutually independent
 // GemmCalls per cycle (one or a few per grid batch); collecting them and
@@ -62,16 +60,13 @@ type HostExecutor struct {
 	Ops *Ops
 }
 
-// Execute runs the calls, fanning independent GEMMs across the kernel pool.
-// Calls write disjoint C matrices (the DFPT grid phases build one per batch)
-// and each Gemm is bit-deterministic on its own, so batch-level fan-out
-// cannot change results. Inner Gemm sharding stays available for the tail:
-// token acquisition nests without blocking.
+// Execute runs the calls through the elastic batch path (batch.go):
+// transpose-pair duplicates are strength-reduced, the rest group by padded
+// shape class and fan across the kernel pool, merging with concurrent
+// cycles' submissions. Calls write disjoint C matrices (the DFPT grid
+// phases build one per batch) and every call computes its true shape with
+// the same blocked kernel as a direct Gemm, so batching — on, off, merged
+// or not — cannot change results.
 func (h *HostExecutor) Execute(calls []GemmCall) {
-	par.For("gemm_batch", len(calls), 1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			c := &calls[i]
-			Gemm(c.TransA, c.TransB, c.Alpha, c.A, c.B, c.Beta, c.C, h.Ops)
-		}
-	})
+	ExecuteBatched(calls, h.Ops)
 }

@@ -1,0 +1,51 @@
+// Package gemmref is the test-only reference implementation for the
+// differential GEMM harness: the naive triple loop, written to be obviously
+// correct and deliberately independent of internal/linalg's packed kernels
+// (raw row-major slices, no shared helpers). It follows the same
+// accumulation discipline the blocked kernel guarantees — one accumulator
+// per output element, k ascending, alpha·s + beta·C applied once at the end,
+// the beta == 0 case skipping the C term entirely — so the production kernel
+// must match it bit for bit, not merely to within a tolerance.
+package gemmref
+
+// Gemm computes C = alpha·op(A)·op(B) + beta·C over row-major slices.
+// a is ar×ac, b is br×bc, c is cr×cc; op is transpose when the corresponding
+// trans flag is set. Shapes must agree (panics otherwise).
+func Gemm(transA, transB bool, alpha float64, a []float64, ar, ac int, b []float64, br, bc int, beta float64, c []float64, cr, cc int) {
+	m, k := ar, ac
+	if transA {
+		m, k = ac, ar
+	}
+	kb, n := br, bc
+	if transB {
+		kb, n = bc, br
+	}
+	if k != kb || cr != m || cc != n {
+		panic("gemmref: shape mismatch")
+	}
+	at := func(i, kk int) float64 {
+		if transA {
+			return a[kk*ac+i]
+		}
+		return a[i*ac+kk]
+	}
+	bt := func(kk, j int) float64 {
+		if transB {
+			return b[j*bc+kk]
+		}
+		return b[kk*bc+j]
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for kk := 0; kk < k; kk++ {
+				s += at(i, kk) * bt(kk, j)
+			}
+			if beta == 0 {
+				c[i*cc+j] = alpha * s
+			} else {
+				c[i*cc+j] = alpha*s + beta*c[i*cc+j]
+			}
+		}
+	}
+}

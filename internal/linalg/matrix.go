@@ -177,27 +177,46 @@ func (m *Matrix) Trace() float64 {
 }
 
 // Dot returns the Euclidean inner product of two equal-length vectors.
+// Four independent accumulator chains break the add-latency dependency of
+// the naive loop; the association is a fixed function of the length alone,
+// so the value is deterministic (and identical wherever Dot is called).
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("linalg: Dot length mismatch")
 	}
-	var s float64
-	for i, v := range a {
-		s += v * b[i]
+	var s0, s1, s2, s3 float64
+	i, n := 0, len(a)
+	for ; i+3 < n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
 	}
-	return s
+	var st float64
+	for ; i < n; i++ {
+		st += a[i] * b[i]
+	}
+	return ((s0 + s1) + (s2 + s3)) + st
 }
 
 // Norm2 returns the Euclidean norm of a vector.
 func Norm2(a []float64) float64 { return math.Sqrt(Dot(a, a)) }
 
-// Axpy computes y += alpha*x.
+// Axpy computes y += alpha*x, unrolled 4-wide. Each element is an
+// independent chain, so unrolling cannot change any bit of the result.
 func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("linalg: Axpy length mismatch")
 	}
-	for i, v := range x {
-		y[i] += alpha * v
+	i, n := 0, len(x)
+	for ; i+3 < n; i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
 	}
 }
 

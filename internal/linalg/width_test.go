@@ -3,6 +3,7 @@ package linalg
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"qframan/internal/par"
@@ -115,6 +116,62 @@ func TestExecuteWidthInvariance(t *testing.T) {
 		for j, v := range outs1[i].Data {
 			if math.Float64bits(v) != math.Float64bits(outs4[i].Data[j]) {
 				t.Fatalf("batch call %d element %d drifts across widths", i, j)
+			}
+		}
+	}
+}
+
+// TestExecuteBatchedWidthAndBatchingInvariance runs a mixed-shape batch —
+// several padded shape classes plus a literal transpose pair — through
+// ExecuteBatched over the cross product of kernel widths {1, 3, NumCPU} and
+// batching {on, off}. Every combination must produce bit-identical outputs:
+// grouping, class padding, pair skips, and pool width all invisible.
+func TestExecuteBatchedWidthAndBatchingInvariance(t *testing.T) {
+	defer par.SetBudget(0)
+	defer SetGemmBatching(true)
+	shapes := [][3]int{{30, 20, 25}, {33, 40, 31}, {7, 5, 3}, {64, 32, 32}, {1, 9, 1}}
+
+	mk := func() ([]GemmCall, []*Matrix) {
+		rng := rand.New(rand.NewSource(17))
+		var calls []GemmCall
+		var outs []*Matrix
+		for _, sh := range shapes {
+			m, k, n := sh[0], sh[1], sh[2]
+			a := randomMatrix(rng, m, k)
+			b := randomMatrix(rng, k, n)
+			c := NewMatrix(m, n)
+			calls = append(calls, GemmCall{Alpha: 1, A: a, B: b, C: c})
+			outs = append(outs, c)
+		}
+		// Transpose pair of the first call: C = Bᵀ·Aᵀ = (A·B)ᵀ.
+		first := calls[0]
+		ct := NewMatrix(first.C.Cols, first.C.Rows)
+		calls = append(calls, GemmCall{
+			TransA: true, TransB: true, Alpha: 1, A: first.B, B: first.A, C: ct,
+		})
+		outs = append(outs, ct)
+		return calls, outs
+	}
+
+	var ref []*Matrix
+	var refDesc string
+	for _, batching := range []bool{true, false} {
+		for _, w := range []int{1, 3, runtime.NumCPU()} {
+			SetGemmBatching(batching)
+			par.SetBudget(w)
+			calls, outs := mk()
+			ExecuteBatched(calls, nil)
+			if ref == nil {
+				ref, refDesc = outs, "width 1 / batching on"
+				continue
+			}
+			for i := range outs {
+				for j, v := range outs[i].Data {
+					if math.Float64bits(v) != math.Float64bits(ref[i].Data[j]) {
+						t.Fatalf("width %d batching %v: call %d element %d differs from %s",
+							w, batching, i, j, refDesc)
+					}
+				}
 			}
 		}
 	}

@@ -1,0 +1,149 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Elastic is the cross-fragment batch aggregator of the paper's elastic
+// workload offloading (§V-C): when several DFPT cycles run concurrently in
+// one process, each emits streams of small same-shape workloads (grid-batch
+// GEMMs, here generic items T keyed by a shape class K). Submitting through
+// an Elastic merges the streams opportunistically: the first submitter of a
+// key becomes that key's drainer and flushes whatever has accumulated — its
+// own items plus anything concurrent submitters appended while a previous
+// flush was running. Under concurrency, batches grow (more work per
+// accelerator launch); with a single submitter, every submission flushes
+// immediately and alone, so aggregation adds no latency and no timers.
+//
+// Determinism: items must be mutually independent — each writes only its own
+// outputs — so how submissions coalesce into flushes cannot affect any
+// result bit. The aggregator guarantees (a) every submitted item is flushed
+// exactly once, (b) Ticket.Wait returns only after the submission's items
+// have been flushed, and (c) per-key flushes never overlap. It guarantees
+// nothing about which flush an item lands in: batch composition is timing-
+// dependent by design, which is why the independence requirement is load-
+// bearing (and why the batching on/off bit-identity tests exist).
+type Elastic[K comparable, T any] struct {
+	flush func(key K, items []T)
+
+	mu      sync.Mutex
+	pending map[K]*elasticQueue[T]
+
+	stats ElasticStats
+}
+
+// elasticQueue is one key's accumulation state. draining marks that some
+// submitter is acting as the key's drainer; waiters holds the completion
+// channels of submissions not yet flushed.
+type elasticQueue[T any] struct {
+	items    []T
+	waiters  []chan struct{}
+	draining bool
+}
+
+// ElasticStats counts aggregator activity (atomic: read with Stats).
+type ElasticStats struct {
+	Submits int64 // Submit calls
+	Items   int64 // items submitted
+	Flushes int64 // flush invocations
+	Merged  int64 // flushes that combined ≥2 submissions
+}
+
+// NewElastic builds an aggregator around a flush function. flush is called
+// with all items accumulated for one key since the previous flush; calls for
+// the same key never overlap, calls for different keys may.
+func NewElastic[K comparable, T any](flush func(key K, items []T)) *Elastic[K, T] {
+	return &Elastic[K, T]{flush: flush, pending: map[K]*elasticQueue[T]{}}
+}
+
+// Ticket is a handle for one submission; Wait blocks until its items have
+// been flushed.
+type Ticket struct{ done <-chan struct{} }
+
+// Wait blocks until the submission's items have been executed. A submitter
+// that became the drainer returns immediately (it already did the work).
+func (t Ticket) Wait() {
+	if t.done != nil {
+		<-t.done
+	}
+}
+
+// Submit hands items for key to the aggregator. If no drainer is active for
+// the key, the calling goroutine drains — flushing its own items plus any
+// that accumulate meanwhile — before returning; its Ticket is then already
+// complete. Otherwise the items are queued for the active drainer and the
+// Ticket completes when that drainer flushes them. Empty submissions return
+// an already-complete Ticket.
+func (e *Elastic[K, T]) Submit(key K, items []T) Ticket {
+	if len(items) == 0 {
+		return Ticket{}
+	}
+	atomic.AddInt64(&e.stats.Submits, 1)
+	atomic.AddInt64(&e.stats.Items, int64(len(items)))
+
+	e.mu.Lock()
+	q := e.pending[key]
+	if q == nil {
+		q = &elasticQueue[T]{}
+		e.pending[key] = q
+	}
+	q.items = append(q.items, items...)
+	if q.draining {
+		// An active drainer will pick these up on its next pass.
+		done := make(chan struct{})
+		q.waiters = append(q.waiters, done)
+		e.mu.Unlock()
+		return Ticket{done: done}
+	}
+	q.draining = true
+	e.mu.Unlock()
+	e.drain(key, q)
+	return Ticket{}
+}
+
+// drain flushes the key's queue until it is empty, then steps down. The
+// drainer re-checks under the lock after every flush, so items appended
+// during a flush are merged into the next one rather than waiting for their
+// own submitter to get scheduled.
+func (e *Elastic[K, T]) drain(key K, q *elasticQueue[T]) {
+	own := true // the first pass carries the drainer's own submission
+	for {
+		e.mu.Lock()
+		items := q.items
+		waiters := q.waiters
+		q.items = nil
+		q.waiters = nil
+		if len(items) == 0 {
+			q.draining = false
+			delete(e.pending, key)
+			e.mu.Unlock()
+			return
+		}
+		e.mu.Unlock()
+
+		subs := len(waiters)
+		if own {
+			subs++
+			own = false
+		}
+		atomic.AddInt64(&e.stats.Flushes, 1)
+		if subs >= 2 {
+			atomic.AddInt64(&e.stats.Merged, 1)
+		}
+		e.flush(key, items)
+		for _, w := range waiters {
+			close(w)
+		}
+	}
+}
+
+// Stats returns a snapshot of the aggregator counters.
+func (e *Elastic[K, T]) Stats() ElasticStats {
+	return ElasticStats{
+		Submits: atomic.LoadInt64(&e.stats.Submits),
+		Items:   atomic.LoadInt64(&e.stats.Items),
+		Flushes: atomic.LoadInt64(&e.stats.Flushes),
+		Merged:  atomic.LoadInt64(&e.stats.Merged),
+	}
+}

@@ -1,0 +1,181 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestElasticSingleSubmitterFlushesInline checks the no-concurrency fast
+// path: a lone submission flushes immediately on the calling goroutine and
+// its ticket is already complete.
+func TestElasticSingleSubmitterFlushesInline(t *testing.T) {
+	var flushed [][]int
+	e := NewElastic[string, int](func(key string, items []int) {
+		flushed = append(flushed, append([]int(nil), items...))
+	})
+	tk := e.Submit("a", []int{1, 2, 3})
+	tk.Wait() // must not block: the submitter drained
+	if len(flushed) != 1 || len(flushed[0]) != 3 {
+		t.Fatalf("want one flush of 3 items, got %v", flushed)
+	}
+	s := e.Stats()
+	if s.Submits != 1 || s.Items != 3 || s.Flushes != 1 || s.Merged != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestElasticEmptySubmission checks that empty submissions are free: no
+// flush, ticket complete.
+func TestElasticEmptySubmission(t *testing.T) {
+	e := NewElastic[int, int](func(int, []int) { t.Fatal("flush called for empty submission") })
+	e.Submit(7, nil).Wait()
+	if s := e.Stats(); s.Submits != 0 || s.Flushes != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestElasticEveryItemFlushedExactlyOnce hammers one key from many
+// goroutines and checks conservation: every item appears in exactly one
+// flush, and per-key flushes never overlap.
+func TestElasticEveryItemFlushedExactlyOnce(t *testing.T) {
+	const goroutines = 16
+	const perSub = 32
+	var mu sync.Mutex
+	seen := map[int]int{}
+	var inFlush atomic.Int64
+	e := NewElastic[string, int](func(key string, items []int) {
+		if inFlush.Add(1) != 1 {
+			t.Error("overlapping flushes for one key")
+		}
+		mu.Lock()
+		for _, it := range items {
+			seen[it]++
+		}
+		mu.Unlock()
+		inFlush.Add(-1)
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			items := make([]int, perSub)
+			for i := range items {
+				items[i] = g*perSub + i
+			}
+			e.Submit("k", items).Wait()
+		}(g)
+	}
+	wg.Wait()
+	if len(seen) != goroutines*perSub {
+		t.Fatalf("saw %d distinct items, want %d", len(seen), goroutines*perSub)
+	}
+	for it, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %d flushed %d times", it, n)
+		}
+	}
+	s := e.Stats()
+	if s.Items != goroutines*perSub {
+		t.Fatalf("stats.Items = %d, want %d", s.Items, goroutines*perSub)
+	}
+	if s.Flushes > s.Submits {
+		t.Fatalf("more flushes (%d) than submissions (%d)", s.Flushes, s.Submits)
+	}
+}
+
+// TestElasticMergesConcurrentSubmissions forces the merge path
+// deterministically: the first flush blocks on a gate while two more
+// submissions queue behind it, then must come out together in one flush.
+func TestElasticMergesConcurrentSubmissions(t *testing.T) {
+	firstEntered := make(chan struct{})
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var flushSizes []int
+	first := true
+	e := NewElastic[string, int](func(key string, items []int) {
+		mu.Lock()
+		flushSizes = append(flushSizes, len(items))
+		wasFirst := first
+		first = false
+		mu.Unlock()
+		if wasFirst {
+			close(firstEntered)
+			<-release
+		}
+	})
+
+	done := make(chan struct{})
+	go func() {
+		e.Submit("k", []int{0}).Wait()
+		close(done)
+	}()
+	<-firstEntered // drainer is inside flush #1
+
+	// Queue two submissions behind the blocked drainer.
+	var wg sync.WaitGroup
+	queued := make(chan struct{}, 2)
+	for i := 1; i <= 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			queued <- struct{}{}
+			e.Submit("k", []int{i}).Wait()
+		}(i)
+	}
+	<-queued
+	<-queued
+	// Give both Submit calls a chance to append before releasing. The
+	// waiters signal before Submit, so poll the stats until both queued.
+	for {
+		if s := e.Stats(); s.Submits == 3 {
+			break
+		}
+	}
+	close(release)
+	wg.Wait()
+	<-done
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(flushSizes) != 2 || flushSizes[0] != 1 || flushSizes[1] != 2 {
+		t.Fatalf("flush sizes = %v, want [1 2]", flushSizes)
+	}
+	if s := e.Stats(); s.Merged != 1 {
+		t.Fatalf("stats.Merged = %d, want 1", s.Merged)
+	}
+}
+
+// TestElasticKeysIndependent checks that different keys flush separately and
+// never mix items.
+func TestElasticKeysIndependent(t *testing.T) {
+	var mu sync.Mutex
+	byKey := map[string][]int{}
+	e := NewElastic[string, int](func(key string, items []int) {
+		mu.Lock()
+		byKey[key] = append(byKey[key], items...)
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := "even"
+			if g%2 == 1 {
+				key = "odd"
+			}
+			e.Submit(key, []int{g}).Wait()
+		}(g)
+	}
+	wg.Wait()
+	if len(byKey["even"]) != 4 || len(byKey["odd"]) != 4 {
+		t.Fatalf("byKey = %v", byKey)
+	}
+	for _, it := range byKey["even"] {
+		if it%2 != 0 {
+			t.Fatalf("odd item %d under key even", it)
+		}
+	}
+}

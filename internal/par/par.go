@@ -48,8 +48,12 @@ import (
 )
 
 // maxChunks bounds the number of chunks a single call is split into; with
-// minChunk it fully determines the (width-independent) chunk layout.
-const maxChunks = 64
+// minChunk it fully determines the (width-independent) chunk layout. 32
+// chunks divide evenly across the modeled pool widths (2/4/8) while keeping
+// per-chunk work large enough that the per-chunk bookkeeping (cursor bump,
+// and under profile capture two clock reads) stays a small fraction of the
+// chunk body.
+const maxChunks = 32
 
 // chunkLayout returns the deterministic chunk size and count for a range of
 // n items: chunks are at least minChunk long, and at most maxChunks of them.
@@ -219,15 +223,17 @@ func ForChunks(name string, n, minChunk int, body func(chunk, lo, hi int)) {
 	}
 	if helpers == 0 {
 		// Inline: one chunk, or no tokens free, or profiling (which times
-		// every chunk individually on the caller).
+		// every chunk individually on the caller). count ≤ maxChunks, so the
+		// capture buffer lives on the stack; add copies it into the profile's
+		// flat per-kernel log.
 		if prof != nil {
-			durs := make([]time.Duration, count)
+			var durs [maxChunks]time.Duration
 			for c := 0; c < count; c++ {
 				t0 := time.Now()
 				body(c, c*size, minInt((c+1)*size, n))
 				durs[c] = time.Since(t0)
 			}
-			prof.add(name, durs)
+			prof.add(name, durs[:count])
 		} else {
 			for c := 0; c < count; c++ {
 				body(c, c*size, minInt((c+1)*size, n))
@@ -249,25 +255,25 @@ func ReduceSum(name string, n, minChunk int, body func(lo, hi int) float64) floa
 		return 0
 	}
 	size, count := chunkLayout(n, minChunk)
-	if count == 1 {
+	prof := profile.Load()
+	if count == 1 && prof == nil {
 		obsInline()
 		return body(0, n)
 	}
 	partials := make([]float64, count)
-	prof := profile.Load()
 	helpers := 0
 	if prof == nil {
 		helpers = tryAcquire(count - 1)
 	}
 	if helpers == 0 {
 		if prof != nil {
-			durs := make([]time.Duration, count)
+			var durs [maxChunks]time.Duration
 			for c := 0; c < count; c++ {
 				t0 := time.Now()
 				partials[c] = body(c*size, minInt((c+1)*size, n))
 				durs[c] = time.Since(t0)
 			}
-			prof.add(name, durs)
+			prof.add(name, durs[:count])
 		} else {
 			for c := 0; c < count; c++ {
 				partials[c] = body(c*size, minInt((c+1)*size, n))
@@ -336,6 +342,27 @@ func runChunked(name string, size, count, n, helpers int, run func(chunk int)) {
 // real intra-solve parallelism.
 const dotChunk = 2048
 
+// dotRange is the per-chunk dot body: four independent accumulator chains
+// (the SIMD-friendly unrolled form — the add-latency chain of the naive loop
+// is the bottleneck, not bandwidth, for L1/L2-resident CG vectors). The
+// association depends only on (lo, hi), which the chunk layout fixes, so the
+// combined value stays bit-identical at any width.
+func dotRange(a, b []float64, lo, hi int) float64 {
+	var s0, s1, s2, s3 float64
+	i := lo
+	for ; i+3 < hi; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	var st float64
+	for ; i < hi; i++ {
+		st += a[i] * b[i]
+	}
+	return ((s0 + s1) + (s2 + s3)) + st
+}
+
 // Dot returns the inner product of two equal-length vectors with the
 // deterministic chunked reduction (bit-identical at any width).
 func Dot(a, b []float64) float64 {
@@ -343,22 +370,14 @@ func Dot(a, b []float64) float64 {
 		panic("par: Dot length mismatch")
 	}
 	return ReduceSum("dot", len(a), dotChunk, func(lo, hi int) float64 {
-		var s float64
-		for i := lo; i < hi; i++ {
-			s += a[i] * b[i]
-		}
-		return s
+		return dotRange(a, b, lo, hi)
 	})
 }
 
 // SumSq returns Σ aᵢ² with the deterministic chunked reduction.
 func SumSq(a []float64) float64 {
 	return ReduceSum("dot", len(a), dotChunk, func(lo, hi int) float64 {
-		var s float64
-		for i := lo; i < hi; i++ {
-			s += a[i] * a[i]
-		}
-		return s
+		return dotRange(a, a, lo, hi)
 	})
 }
 

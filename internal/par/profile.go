@@ -15,14 +15,22 @@ import (
 // measure-small/model-large methodology as the simhpc scale experiments —
 // it models intra-kernel scaling on hosts with fewer cores than the target
 // width, with per-chunk costs that are measured, not synthesized.
+//
+// Storage is two flat slices per kernel name — all chunk durations
+// back-to-back, plus the chunk count of every job — rather than a slice
+// header and duration array per job. A production-resolution capture holds
+// O(10⁸–10⁹) chunks across O(10⁷) jobs; the flat layout keeps that as a
+// handful of pointer-free allocations the garbage collector never scans,
+// instead of tens of millions of small objects whose mark cost alone would
+// distort the non-kernel wall time the experiment reports.
 type Profile struct {
 	mu   sync.Mutex
-	jobs []job
+	logs map[string]*kernelLog
 }
 
-type job struct {
-	name   string
-	chunks []time.Duration
+type kernelLog struct {
+	durs    []time.Duration // all jobs' chunks, concatenated in job order
+	jobLens []int32         // chunks per job; job i owns the next jobLens[i] durs
 }
 
 var profile atomic.Pointer[Profile]
@@ -30,7 +38,7 @@ var profile atomic.Pointer[Profile]
 // StartProfile begins serial per-chunk capture on this process's kernels.
 // Not for production paths: kernels run serially while active.
 func StartProfile() *Profile {
-	p := &Profile{}
+	p := &Profile{logs: make(map[string]*kernelLog)}
 	profile.Store(p)
 	return p
 }
@@ -40,7 +48,13 @@ func StopProfile() { profile.Store(nil) }
 
 func (p *Profile) add(name string, durs []time.Duration) {
 	p.mu.Lock()
-	p.jobs = append(p.jobs, job{name: name, chunks: durs})
+	kl := p.logs[name]
+	if kl == nil {
+		kl = &kernelLog{}
+		p.logs[name] = kl
+	}
+	kl.durs = append(kl.durs, durs...)
+	kl.jobLens = append(kl.jobLens, int32(len(durs)))
 	p.mu.Unlock()
 }
 
@@ -48,7 +62,11 @@ func (p *Profile) add(name string, durs []time.Duration) {
 func (p *Profile) Jobs() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.jobs)
+	n := 0
+	for _, kl := range p.logs {
+		n += len(kl.jobLens)
+	}
+	return n
 }
 
 // Chunks returns the total number of captured chunks.
@@ -56,8 +74,8 @@ func (p *Profile) Chunks() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	n := 0
-	for _, j := range p.jobs {
-		n += len(j.chunks)
+	for _, kl := range p.logs {
+		n += len(kl.durs)
 	}
 	return n
 }
@@ -68,8 +86,8 @@ func (p *Profile) SerialSeconds() float64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var s time.Duration
-	for _, j := range p.jobs {
-		for _, d := range j.chunks {
+	for _, kl := range p.logs {
+		for _, d := range kl.durs {
 			s += d
 		}
 	}
@@ -81,7 +99,8 @@ func (p *Profile) SerialSeconds() float64 {
 // least-loaded of w workers (the greedy schedule a work-conserving pool
 // converges to), and the job costs its makespan. Job-to-job ordering is
 // serial, as in the real pipeline where regions are separated by serial
-// phases. w <= 1 returns SerialSeconds.
+// phases — so the total is a sum over jobs and the order in which kernels
+// are visited cannot change it. w <= 1 returns SerialSeconds.
 func (p *Profile) Replay(w int) float64 {
 	if w <= 1 {
 		return p.SerialSeconds()
@@ -90,30 +109,50 @@ func (p *Profile) Replay(w int) float64 {
 	defer p.mu.Unlock()
 	var total time.Duration
 	load := make([]time.Duration, w)
-	for _, j := range p.jobs {
-		chunks := append([]time.Duration(nil), j.chunks...)
-		sort.Slice(chunks, func(a, b int) bool { return chunks[a] > chunks[b] })
-		for i := range load {
-			load[i] = 0
-		}
-		for _, d := range chunks {
-			mi := 0
-			for i := 1; i < w; i++ {
-				if load[i] < load[mi] {
-					mi = i
+	var scratch []time.Duration
+	for _, kl := range p.logs {
+		off := 0
+		for _, jl := range kl.jobLens {
+			chunks := kl.durs[off : off+int(jl)]
+			off += int(jl)
+			scratch = append(scratch[:0], chunks...)
+			sort.Slice(scratch, func(a, b int) bool { return scratch[a] > scratch[b] })
+			for i := range load {
+				load[i] = 0
+			}
+			for _, d := range scratch {
+				mi := 0
+				for i := 1; i < w; i++ {
+					if load[i] < load[mi] {
+						mi = i
+					}
+				}
+				load[mi] += d
+			}
+			makespan := load[0]
+			for _, l := range load[1:] {
+				if l > makespan {
+					makespan = l
 				}
 			}
-			load[mi] += d
+			total += makespan
 		}
-		makespan := load[0]
-		for _, l := range load[1:] {
-			if l > makespan {
-				makespan = l
-			}
-		}
-		total += makespan
 	}
 	return total.Seconds()
+}
+
+// ChunksByKernel returns the captured chunk count per kernel name. A kernel
+// whose per-chunk times are below the timer or reporting resolution still
+// shows its chunks here — the coverage check the benchmark harness uses to
+// prove every wired kernel actually executed.
+func (p *Profile) ChunksByKernel() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int, len(p.logs))
+	for name, kl := range p.logs {
+		out[name] = len(kl.durs)
+	}
+	return out
 }
 
 // ByKernel returns the captured serial seconds per kernel name, for the
@@ -121,13 +160,13 @@ func (p *Profile) Replay(w int) float64 {
 func (p *Profile) ByKernel() map[string]float64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	out := make(map[string]float64)
-	for _, j := range p.jobs {
+	out := make(map[string]float64, len(p.logs))
+	for name, kl := range p.logs {
 		var s time.Duration
-		for _, d := range j.chunks {
+		for _, d := range kl.durs {
 			s += d
 		}
-		out[j.name] += s.Seconds()
+		out[name] = s.Seconds()
 	}
 	return out
 }

@@ -41,164 +41,287 @@ func Solve(g *grid.Grid, rho []float64, opt Options) ([]float64, int, error) {
 	v := make([]float64, n)
 	setBoundary(g, rho, v)
 
-	// Interior unknowns: solve A u = b with A = −∇² (SPD on the interior),
-	// b = 4πρ + boundary terms folded in by keeping v's boundary fixed and
-	// applying the stencil to the full array.
+	// Interior unknowns: solve A u = b with A = −∇² (SPD on the interior).
+	// All CG vectors live in the FULL grid layout with boundary slots pinned
+	// to exact zeros — the interior decomposes into contiguous x-runs of
+	// length Nx−2 (one per interior (iy, iz) line), so the stencil reads and
+	// writes sequential memory with no index indirection, the per-iteration
+	// interior→full scatter of the compact layout disappears entirely, and
+	// the reductions run over contiguous arrays (the boundary zeros
+	// contribute exact +0 terms, which cannot perturb any partial sum).
 	h2 := g.H * g.H
-	interior := make([]int, 0, n)
-	for iz := 1; iz < g.Nz-1; iz++ {
+	invH2 := 1 / h2
+	sy, sz := g.Nx, g.Nx*g.Ny
+	runLen := g.Nx - 2                 // interior x-run length
+	numRuns := (g.Ny - 2) * (g.Nz - 2) // one run per interior (iy, iz)
+	runStart := make([]int, numRuns)   // full-layout index of each run
+	for iz, ri := 1, 0; iz < g.Nz-1; iz++ {
 		for iy := 1; iy < g.Ny-1; iy++ {
-			for ix := 1; ix < g.Nx-1; ix++ {
-				interior = append(interior, g.Index(ix, iy, iz))
-			}
+			runStart[ri] = g.Index(1, iy, iz)
+			ri++
 		}
 	}
+	// The chunk floor in runs: ≥ stencilChunk grid points per chunk, a pure
+	// function of the grid shape so the layout is width-independent.
+	runChunk := (stencilChunk + runLen - 1) / runLen
+	stencilPartials := make([]float64, par.Chunks(numRuns, runChunk))
 
-	// applyA computes (−∇² u) at interior points, treating u as zero on the
-	// boundary (boundary contribution is moved to b). Sharded over interior
-	// points; out[k] depends only on u, so any width gives identical bits.
-	applyA := func(u, out []float64) {
-		sx, sy, sz := 1, g.Nx, g.Nx*g.Ny
-		par.For("poisson_stencil", len(interior), stencilChunk, func(lo, hi int) {
-			for k := lo; k < hi; k++ {
-				idx := interior[k]
-				out[k] = (6*u[idx] - u[idx-sx] - u[idx+sx] - u[idx-sy] - u[idx+sy] - u[idx-sz] - u[idx+sz]) / h2
+	// applyADot computes out = (−∇² u)/h² on the interior runs, treating u as
+	// zero on the boundary (the boundary contribution is folded into b), and
+	// returns uᵀ·out from the same pass — the CG curvature pᵀAp, fused into
+	// the stencil so the iteration never re-reads p and Ap in a separate dot.
+	// Per-chunk partials combine in ascending chunk order (the PR 4
+	// determinism contract); out's boundary slots are never written and stay
+	// zero from allocation.
+	applyADot := func(u, out []float64) float64 {
+		par.ForChunks("poisson_stencil", numRuns, runChunk, func(c, lo, hi int) {
+			var s0, s1 float64
+			for ri := lo; ri < hi; ri++ {
+				i0 := runStart[ri]
+				uc := u[i0 : i0+runLen]
+				ul := u[i0-1 : i0-1+runLen]
+				ur := u[i0+1 : i0+1+runLen]
+				ud := u[i0-sy : i0-sy+runLen]
+				uu := u[i0+sy : i0+sy+runLen]
+				ub := u[i0-sz : i0-sz+runLen]
+				uf := u[i0+sz : i0+sz+runLen]
+				dst := out[i0 : i0+runLen]
+				j := 0
+				for ; j+1 < len(dst); j += 2 {
+					d0 := (6*uc[j] - ul[j] - ur[j] - ud[j] - uu[j] - ub[j] - uf[j]) * invH2
+					d1 := (6*uc[j+1] - ul[j+1] - ur[j+1] - ud[j+1] - uu[j+1] - ub[j+1] - uf[j+1]) * invH2
+					dst[j], dst[j+1] = d0, d1
+					s0 += uc[j] * d0
+					s1 += uc[j+1] * d1
+				}
+				for ; j < len(dst); j++ {
+					d := (6*uc[j] - ul[j] - ur[j] - ud[j] - uu[j] - ub[j] - uf[j]) * invH2
+					dst[j] = d
+					s0 += uc[j] * d
+				}
 			}
+			stencilPartials[c] = s0 + s1
 		})
+		var s float64
+		for _, pv := range stencilPartials { // ordered combine: chunk 0, 1, 2, …
+			s += pv
+		}
+		return s
 	}
 
-	// Build b = 4πρ + (1/h²)·(boundary neighbor values).
-	nb := len(interior)
-	b := make([]float64, nb)
-	{
-		sx, sy, sz := 1, g.Nx, g.Nx*g.Ny
-		isBoundary := func(idx int) bool {
-			ix, iy, iz := g.Coords(idx)
-			return ix == 0 || ix == g.Nx-1 || iy == 0 || iy == g.Ny-1 || iz == 0 || iz == g.Nz-1
-		}
-		for k, idx := range interior {
-			b[k] = 4 * math.Pi * rho[idx]
-			for _, nIdx := range [6]int{idx - sx, idx + sx, idx - sy, idx + sy, idx - sz, idx + sz} {
-				if isBoundary(nIdx) {
-					b[k] += v[nIdx] / h2
+	// Build b = 4πρ + (1/h²)·(boundary neighbor values), full layout. A run
+	// has boundary neighbors only at its two x-ends, and along y (z) only
+	// when it sits in the first or last interior y (z) layer — known from
+	// the run's (iy, iz) alone, so no per-point coordinate decoding. Face
+	// passes apply in the fixed order −x, +x, −y, +y, −z, +z, matching the
+	// neighbor-fold order elementwise.
+	b := make([]float64, n)
+	for iz, ri := 1, 0; iz < g.Nz-1; iz++ {
+		for iy := 1; iy < g.Ny-1; iy++ {
+			i0 := runStart[ri]
+			ri++
+			bRun := b[i0 : i0+runLen]
+			rhoRun := rho[i0 : i0+runLen]
+			for j := range bRun {
+				bRun[j] = 4 * math.Pi * rhoRun[j]
+			}
+			bRun[0] += v[i0-1] / h2
+			bRun[runLen-1] += v[i0+runLen] / h2
+			if iy == 1 {
+				vn := v[i0-sy : i0-sy+runLen]
+				for j := range bRun {
+					bRun[j] += vn[j] / h2
+				}
+			}
+			if iy == g.Ny-2 {
+				vn := v[i0+sy : i0+sy+runLen]
+				for j := range bRun {
+					bRun[j] += vn[j] / h2
+				}
+			}
+			if iz == 1 {
+				vn := v[i0-sz : i0-sz+runLen]
+				for j := range bRun {
+					bRun[j] += vn[j] / h2
+				}
+			}
+			if iz == g.Nz-2 {
+				vn := v[i0+sz : i0+sz+runLen]
+				for j := range bRun {
+					bRun[j] += vn[j] / h2
 				}
 			}
 		}
 	}
 
-	// Conjugate gradients on the interior; u stores values at interior
-	// points embedded in a full-size scratch array (boundary zero) so the
-	// stencil application stays simple.
-	full := make([]float64, n)
-	au := make([]float64, nb)
-	u := make([]float64, nb)
-	r := make([]float64, nb)
-	p := make([]float64, nb)
+	au := make([]float64, n)
+	u := make([]float64, n)
+	r := make([]float64, n)
+	p := make([]float64, n)
 	copy(r, b)
 	copy(p, b)
 	bNorm := norm(b)
 	if bNorm == 0 {
 		return v, 0, nil
 	}
+	// Per-chunk partials for the fused update+reduction region, combined in
+	// ascending chunk order (the PR 4 determinism contract).
+	partials := make([]float64, par.Chunks(n, stencilChunk))
 	rr := dot(r, r)
 	iter := 0
 	for ; iter < opt.MaxIter; iter++ {
 		if math.Sqrt(rr)/bNorm < opt.Tol {
 			break
 		}
-		// au = A p (via the full-array stencil with zero boundary). The
-		// scatter overwrites every interior slot and never touches boundary
-		// slots, which stay zero from allocation — no per-iteration clear.
-		par.For("poisson_scatter", len(interior), stencilChunk, func(lo, hi int) {
-			for k := lo; k < hi; k++ {
-				full[interior[k]] = p[k]
-			}
-		})
-		applyA(full, au)
-		pap := dot(p, au)
+		pap := applyADot(p, au)
 		if pap <= 0 {
 			return nil, iter, fmt.Errorf("poisson: CG breakdown (pᵀAp = %g)", pap)
 		}
 		alpha := rr / pap
-		par.For("poisson_axpy", nb, stencilChunk, func(lo, hi int) {
-			for k := lo; k < hi; k++ {
-				u[k] += alpha * p[k]
-				r[k] -= alpha * au[k]
+		// Fused x-update, residual update, and ‖r‖² reduction: one pass over
+		// the four vectors instead of two passes plus a separate dot.
+		par.ForChunks("poisson_axpy", n, stencilChunk, func(c, lo, hi int) {
+			var s0, s1 float64
+			i := lo
+			for ; i+1 < hi; i += 2 {
+				u[i] += alpha * p[i]
+				u[i+1] += alpha * p[i+1]
+				r0 := r[i] - alpha*au[i]
+				r1 := r[i+1] - alpha*au[i+1]
+				r[i], r[i+1] = r0, r1
+				s0 += r0 * r0
+				s1 += r1 * r1
 			}
+			for ; i < hi; i++ {
+				u[i] += alpha * p[i]
+				ri := r[i] - alpha*au[i]
+				r[i] = ri
+				s0 += ri * ri
+			}
+			partials[c] = s0 + s1
 		})
-		rrNew := dot(r, r)
+		var rrNew float64
+		for _, s := range partials { // ordered combine: chunk 0, 1, 2, …
+			rrNew += s
+		}
 		beta := rrNew / rr
 		rr = rrNew
-		par.For("poisson_axpy", nb, stencilChunk, func(lo, hi int) {
-			for k := lo; k < hi; k++ {
-				p[k] = r[k] + beta*p[k]
+		par.For("poisson_axpy", n, stencilChunk, func(lo, hi int) {
+			i := lo
+			for ; i+3 < hi; i += 4 {
+				p[i] = r[i] + beta*p[i]
+				p[i+1] = r[i+1] + beta*p[i+1]
+				p[i+2] = r[i+2] + beta*p[i+2]
+				p[i+3] = r[i+3] + beta*p[i+3]
+			}
+			for ; i < hi; i++ {
+				p[i] = r[i] + beta*p[i]
 			}
 		})
 	}
 	if math.Sqrt(rr)/bNorm >= opt.Tol {
 		return nil, iter, fmt.Errorf("poisson: CG did not converge in %d iterations (rel res %g)", iter, math.Sqrt(rr)/bNorm)
 	}
-	for k, idx := range interior {
-		v[idx] = u[k]
+	for _, i0 := range runStart {
+		copy(v[i0:i0+runLen], u[i0:i0+runLen])
 	}
 	return v, iter, nil
 }
 
 // setBoundary fills the boundary faces of v with the monopole+dipole
-// expansion of rho about the charge centroid.
+// expansion of rho about the grid center. Both passes — the charge-moment
+// scan over the full grid and the face evaluation — run as
+// "poisson_boundary" kernel regions: the scan is a chunked four-component
+// reduction (q, pₓ, p_y, p_z partials combined in ascending chunk order),
+// and each face point writes only its own slot. Point coordinates advance
+// incrementally from each chunk's start, so the O(n) scan does no per-point
+// index decoding.
 func setBoundary(g *grid.Grid, rho, v []float64) {
 	w := g.Weight()
-	var q float64
-	var center geom.Vec3
 	// Expansion origin: grid center (robust also for zero net charge).
-	center = g.Origin.Add(geom.V(
+	center := g.Origin.Add(geom.V(
 		float64(g.Nx-1)*g.H/2, float64(g.Ny-1)*g.H/2, float64(g.Nz-1)*g.H/2))
+
+	nChunks := par.Chunks(len(rho), stencilChunk)
+	qPart := make([]float64, nChunks)
+	pPart := make([]geom.Vec3, nChunks)
+	par.ForChunks("poisson_boundary", len(rho), stencilChunk, func(c, lo, hi int) {
+		ix, iy, iz := g.Coords(lo)
+		x := g.Origin.X + float64(ix)*g.H - center.X
+		y := g.Origin.Y + float64(iy)*g.H - center.Y
+		z := g.Origin.Z + float64(iz)*g.H - center.Z
+		x0 := g.Origin.X - center.X
+		var q float64
+		var p geom.Vec3
+		for i := lo; i < hi; i++ {
+			if r := rho[i]; r != 0 {
+				rw := r * w
+				q += rw
+				p.X += x * rw
+				p.Y += y * rw
+				p.Z += z * rw
+			}
+			ix++
+			x += g.H
+			if ix == g.Nx {
+				ix, x = 0, x0
+				iy++
+				y += g.H
+				if iy == g.Ny {
+					iy, y = 0, g.Origin.Y-center.Y
+					z += g.H
+				}
+			}
+		}
+		qPart[c], pPart[c] = q, p
+	})
+	var q float64
 	var p geom.Vec3
-	for i, r := range rho {
-		if r == 0 {
-			continue
-		}
-		q += r * w
-		d := g.Point(i).Sub(center)
-		p = p.Add(d.Scale(r * w))
+	for c := 0; c < nChunks; c++ { // ordered combine: chunk 0, 1, 2, …
+		q += qPart[c]
+		p = p.Add(pPart[c])
 	}
-	face := func(ix, iy, iz int) {
-		pt := g.PointAt(ix, iy, iz)
-		d := pt.Sub(center)
-		rr := d.Norm()
-		if rr == 0 {
-			return
-		}
-		v[g.Index(ix, iy, iz)] = q/rr + p.Dot(d)/(rr*rr*rr)
-	}
+
+	// Every boundary point exactly once: full z-faces, then y-faces without
+	// the z-edges, then x-faces without the y- and z-edges.
+	bidx := make([]int32, 0, 2*(g.Nx*g.Ny+g.Nx*g.Nz+g.Ny*g.Nz))
 	for iy := 0; iy < g.Ny; iy++ {
 		for ix := 0; ix < g.Nx; ix++ {
-			face(ix, iy, 0)
-			face(ix, iy, g.Nz-1)
+			bidx = append(bidx, int32(g.Index(ix, iy, 0)), int32(g.Index(ix, iy, g.Nz-1)))
 		}
 	}
-	for iz := 0; iz < g.Nz; iz++ {
+	for iz := 1; iz < g.Nz-1; iz++ {
 		for ix := 0; ix < g.Nx; ix++ {
-			face(ix, 0, iz)
-			face(ix, g.Ny-1, iz)
+			bidx = append(bidx, int32(g.Index(ix, 0, iz)), int32(g.Index(ix, g.Ny-1, iz)))
 		}
 	}
-	for iz := 0; iz < g.Nz; iz++ {
-		for iy := 0; iy < g.Ny; iy++ {
-			face(0, iy, iz)
-			face(g.Nx-1, iy, iz)
+	for iz := 1; iz < g.Nz-1; iz++ {
+		for iy := 1; iy < g.Ny-1; iy++ {
+			bidx = append(bidx, int32(g.Index(0, iy, iz)), int32(g.Index(g.Nx-1, iy, iz)))
 		}
 	}
+	par.For("poisson_boundary", len(bidx), 1024, func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			i := int(bidx[bi])
+			d := g.Point(i).Sub(center)
+			rr := d.Norm()
+			if rr == 0 {
+				continue
+			}
+			v[i] = q/rr + p.Dot(d)/(rr*rr*rr)
+		}
+	})
 }
 
 // stencilChunk is the minimum shard of grid points per worker; below it the
 // memory-bound stencil and axpy loops don't amortize a dispatch. Fragment
 // grids are small (10³–10⁵ interior points), so the floor also sets how many
 // chunks — and hence how much intra-solve parallelism — a CG iteration has:
-// 512 points is ~µs of stencil work, comfortably above the ~0.5µs
-// parked-worker dispatch cost, and gives even a water monomer's ~10⁴-point
-// grid enough chunks to occupy an 8-wide pool.
-const stencilChunk = 512
+// 2,048 points is a few µs of stencil work, far above the ~0.5µs
+// parked-worker dispatch cost and the per-chunk clock reads of profile
+// capture, while a production-resolution monomer grid (~10⁵ points) still
+// splits into the full 32-chunk layout an 8-wide pool needs.
+const stencilChunk = 2048
 
 // dot and norm use the pool's deterministic chunked reduction: partials are
 // combined in fixed chunk order, so CG iterates are bit-identical for any

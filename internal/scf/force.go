@@ -30,17 +30,19 @@ func (m *Model) Forces(res *Result) []geom.Vec3 {
 		g := make([]geom.Vec3, na)
 		for i := lo; i < hi; i++ {
 			fi := &m.Basis.Funcs[i]
+			pRow, wRow := res.P.Row(i), res.W.Row(i)
+			a, va, ei := fi.Atom, v[fi.Atom], fi.OnsiteE
 			for j := i + 1; j < n; j++ {
 				fj := &m.Basis.Funcs[j]
-				a, b := fi.Atom, fj.Atom
+				b := fj.Atom
 				if a == b {
 					continue
 				}
 				ds := basis.OverlapDeriv(fi, fj) // d S_ij / d R_a
 				// Both (i,j) and (j,i) contribute identically: factor 2.
-				coeff := 2 * (res.P.At(i, j)*0.5*wolfsbergK*(fi.OnsiteE+fj.OnsiteE) -
-					res.W.At(i, j) +
-					res.P.At(i, j)*0.5*(v[a]+v[b]))
+				coeff := 2 * (pRow[j]*0.5*wolfsbergK*(ei+fj.OnsiteE) -
+					wRow[j] +
+					pRow[j]*0.5*(va+v[b]))
 				g[a] = g[a].Add(ds.Scale(coeff))
 				g[b] = g[b].Sub(ds.Scale(coeff))
 			}
