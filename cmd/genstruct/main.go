@@ -10,9 +10,12 @@
 //	genstruct -kind water -box 8x8x8 -o water.txt
 //	genstruct -kind solvated -residues 20 -pad 6 -o solvated.txt
 //	genstruct -kind stats -box 324x324x322        # ~101M-atom statistics
+//	genstruct -kind traj -box 3x3x2 -frames 3 -topo top.txt -o traj.xyz
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +28,7 @@ import (
 )
 
 func main() {
-	kind := flag.String("kind", "protein", "protein | water | dimers | solvated | stats")
+	kind := flag.String("kind", "protein", "protein | water | dimers | solvated | stats | traj")
 	residues := flag.Int("residues", 30, "protein length in residues")
 	fold := flag.Int("fold", 0, "serpentine fold period (0 = extended chain)")
 	seed := flag.Int64("seed", 1, "sequence seed")
@@ -34,9 +37,14 @@ func main() {
 	pad := flag.Float64("pad", 6.0, "solvation padding in Å")
 	out := flag.String("o", "", "output file (default stdout)")
 	lambda := flag.Float64("lambda", 4.0, "two-body distance threshold in Å (stats)")
+	frames := flag.Int("frames", 3, "trajectory length in frames (traj)")
+	jitter := flag.Float64("jitter", 0.02, "per-axis atom displacement bound in Å (traj)")
+	movefrac := flag.Float64("movefrac", 0.15, "fraction of molecules perturbed per frame (traj)")
+	topo := flag.String("topo", "", "also write the frame-0 topology in genstruct text format to this file (traj)")
 	flag.Parse()
 
-	if err := run(*kind, *residues, *fold, *seed, *box, *dimers, *pad, *out, *lambda); err != nil {
+	if err := run(*kind, *residues, *fold, *seed, *box, *dimers, *pad, *out, *lambda,
+		*frames, *jitter, *movefrac, *topo); err != nil {
 		fmt.Fprintln(os.Stderr, "genstruct:", err)
 		os.Exit(1)
 	}
@@ -56,7 +64,8 @@ func parseBox(s string) (nx, ny, nz int, err error) {
 	return dims[0], dims[1], dims[2], nil
 }
 
-func run(kind string, residues, fold int, seed int64, box string, dimers int, pad float64, out string, lambda float64) error {
+func run(kind string, residues, fold int, seed int64, box string, dimers int, pad float64, out string, lambda float64,
+	frames int, jitter, movefrac float64, topo string) error {
 	var sys *structure.System
 	switch kind {
 	case "protein":
@@ -81,6 +90,12 @@ func run(kind string, residues, fold int, seed int64, box string, dimers int, pa
 			return err
 		}
 		sys = structure.SolvateInWater(protein, pad, 2.4)
+	case "traj":
+		nx, ny, nz, err := parseBox(box)
+		if err != nil {
+			return err
+		}
+		return runTraj(nx, ny, nz, seed, frames, jitter, movefrac, out, topo)
 	case "stats":
 		nx, ny, nz, err := parseBox(box)
 		if err != nil {
@@ -113,5 +128,70 @@ func run(kind string, residues, fold int, seed int64, box string, dimers int, pa
 	}
 	fmt.Fprintf(os.Stderr, "genstruct: %d atoms, %d residues, %d waters\n",
 		sys.NumAtoms(), len(sys.Residues), len(sys.Waters))
+	return nil
+}
+
+// runTraj emits a perturbed water-box trajectory in extended-XYZ form, plus
+// (optionally) the matching frame-0 topology. The base system is round-
+// tripped through the genstruct text format first: WriteText quantizes
+// coordinates to %.6f, so only the round-tripped geometry makes frame 0 of
+// the trajectory bit-identical to the -topo file a one-shot run reads.
+func runTraj(nx, ny, nz int, seed int64, frames int, jitter, movefrac float64, out, topo string) error {
+	if frames < 1 {
+		return fmt.Errorf("traj needs at least one frame, got %d", frames)
+	}
+	built := structure.BuildWaterBox(nx, ny, nz, geom.Vec3{})
+	var buf bytes.Buffer
+	if err := built.WriteText(&buf); err != nil {
+		return err
+	}
+	base, err := structure.ReadSystem(&buf)
+	if err != nil {
+		return err
+	}
+	if topo != "" {
+		f, err := os.Create(topo)
+		if err != nil {
+			return err
+		}
+		if err := base.WriteText(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	popt := structure.DefaultPerturbOptions()
+	popt.Frames = frames
+	popt.Jitter = jitter
+	popt.MoveFrac = movefrac
+	popt.Seed = seed
+	traj := structure.PerturbedTrajectory(base, popt)
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	for i, fr := range traj {
+		sys, err := structure.ApplyFrame(base, fr)
+		if err != nil {
+			return err
+		}
+		if err := structure.WriteTrajectoryFrame(bw, sys, fmt.Sprintf("frame %d", i)); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "genstruct: %d frames of %d atoms (%d waters), movefrac %.2f, jitter %.3f Å\n",
+		len(traj), base.NumAtoms(), len(base.Waters), movefrac, jitter)
 	return nil
 }

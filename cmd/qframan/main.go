@@ -7,6 +7,7 @@
 //	qframan -seq GAVKAG -o spectrum.tsv
 //	qframan -in solvated.txt -sigma 20 -fmin 200 -fmax 4000
 //	qframan -dimers 4 -dense
+//	qframan -in top.txt -traj traj.xyz -traj-out frames -cache-dir cache
 package main
 
 import (
@@ -50,6 +51,10 @@ func main() {
 	clusterAddr := flag.String("cluster", "", "dispatch fragments to a qfcoord coordinator at this address instead of computing in-process (results stay bit-identical)")
 	out := flag.String("o", "", "spectrum output TSV (default stdout)")
 
+	trajPath := flag.String("traj", "", "extended-XYZ trajectory: diff frames incrementally and emit one spectrum per frame (topology from -in/-seq/-water, or inferred from frame 0)")
+	trajWarm := flag.Bool("traj-warm", true, "warm-start moved fragments' SCF from their previous frame (=0 restores bit-identity with independent per-frame runs)")
+	trajOut := flag.String("traj-out", "", "write per-frame spectra as frame_NNN.tsv into this directory (default: stream to stdout)")
+
 	var ft faultFlags
 	flag.IntVar(&ft.retries, "retries", faults.DefaultRetryPolicy().MaxAttempts, "processing attempts per fragment before a transient failure is final")
 	flag.IntVar(&ft.maxFailed, "max-failed", 0, "fail-soft budget: complete degraded with up to K failed fragments dropped")
@@ -73,7 +78,8 @@ func main() {
 		par.SetBudget(*kernelThreads)
 	}
 	if err := run(*in, *seq, *fold, *dimers, *waterBox, *solvate,
-		*fmin, *fmax, *fstep, *sigma, *k, *dense, *leaders, *workers, *clusterAddr, *out, *irOut, ft, cf, of); err != nil {
+		*fmin, *fmax, *fstep, *sigma, *k, *dense, *leaders, *workers, *clusterAddr, *out, *irOut, ft, cf, of,
+		*trajPath, *trajWarm, *trajOut); err != nil {
 		fmt.Fprintln(os.Stderr, "qframan:", err)
 		os.Exit(1)
 	}
@@ -242,14 +248,21 @@ func buildSystem(in, seq string, fold, dimers, waterBox int, solvate bool) (*str
 }
 
 func run(in, seq string, fold, dimers, waterBox int, solvate bool,
-	fmin, fmax, fstep, sigma float64, k int, dense bool, leaders, workers int, clusterAddr, out, irOut string, ft faultFlags, cf cacheFlags, of obsFlags) error {
+	fmin, fmax, fstep, sigma float64, k int, dense bool, leaders, workers int, clusterAddr, out, irOut string, ft faultFlags, cf cacheFlags, of obsFlags,
+	trajPath string, trajWarm bool, trajOut string) error {
 
-	sys, err := buildSystem(in, seq, fold, dimers, waterBox, solvate)
-	if err != nil {
-		return err
+	var sys *structure.System
+	var err error
+	if trajPath != "" && in == "" && seq == "" && dimers == 0 && waterBox == 0 {
+		// No topology source: runTraj infers one from the first frame.
+	} else {
+		sys, err = buildSystem(in, seq, fold, dimers, waterBox, solvate)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "system: %d atoms, %d residues, %d waters\n",
+			sys.NumAtoms(), len(sys.Residues), len(sys.Waters))
 	}
-	fmt.Fprintf(os.Stderr, "system: %d atoms, %d residues, %d waters\n",
-		sys.NumAtoms(), len(sys.Residues), len(sys.Waters))
 
 	cfg := core.DefaultConfig()
 	cfg.Raman.FreqMin, cfg.Raman.FreqMax, cfg.Raman.FreqStep = fmin, fmax, fstep
@@ -273,6 +286,18 @@ func run(in, seq string, fold, dimers, waterBox int, solvate bool,
 	}
 	if clusterAddr != "" {
 		cfg.Sched.Backend = cluster.NewClient(clusterAddr)
+	}
+	if trajPath != "" {
+		// The warm-start hooks and in-memory frame diff are in-process
+		// machinery; neither crosses the cluster wire, and per-frame IR
+		// output is not plumbed. Refuse rather than silently degrade.
+		if clusterAddr != "" {
+			return fmt.Errorf("-traj cannot run over -cluster (frame diffing is in-process)")
+		}
+		if irOut != "" {
+			return fmt.Errorf("-ir is not supported with -traj")
+		}
+		return runTraj(trajPath, trajWarm, trajOut, sys, cfg, sinks, out)
 	}
 
 	t0 := time.Now()
@@ -328,12 +353,7 @@ func run(in, seq string, fold, dimers, waterBox int, solvate bool,
 		defer f.Close()
 		w = f
 	}
-	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, "# wavenumber_cm-1\traman_intensity")
-	for i, x := range res.Spectrum.Freq {
-		fmt.Fprintf(bw, "%.1f\t%.8g\n", x, res.Spectrum.Intensity[i])
-	}
-	if err := bw.Flush(); err != nil {
+	if err := writeSpectrumTSV(w, "# wavenumber_cm-1\traman_intensity", res.Spectrum); err != nil {
 		return err
 	}
 	if irOut != "" {
@@ -342,12 +362,7 @@ func run(in, seq string, fold, dimers, waterBox int, solvate bool,
 			return err
 		}
 		defer f.Close()
-		ib := bufio.NewWriter(f)
-		fmt.Fprintln(ib, "# wavenumber_cm-1\tir_intensity")
-		for i, x := range res.IRSpectrum.Freq {
-			fmt.Fprintf(ib, "%.1f\t%.8g\n", x, res.IRSpectrum.Intensity[i])
-		}
-		if err := ib.Flush(); err != nil {
+		if err := writeSpectrumTSV(f, "# wavenumber_cm-1\tir_intensity", res.IRSpectrum); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"qframan/internal/core"
+	"qframan/internal/raman"
+	"qframan/internal/sched"
+	"qframan/internal/store"
+	"qframan/internal/structure"
+	"qframan/internal/traj"
+)
+
+// writeSpectrumTSV writes a spectrum in qframan's output format. One-shot
+// runs and trajectory frame files share this writer, so frame 0 of a
+// trajectory is byte-identical to a one-shot run's output file.
+func writeSpectrumTSV(w io.Writer, header string, spec *raman.Spectrum) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, header)
+	for i, x := range spec.Freq {
+		fmt.Fprintf(bw, "%.1f\t%.8g\n", x, spec.Intensity[i])
+	}
+	return bw.Flush()
+}
+
+// runTraj streams an extended-XYZ trajectory through the incremental
+// engine: each frame is diffed against the previous one, only changed
+// fragments recompute (warm-started from their own previous frame unless
+// -traj-warm=0), and per-frame spectra are emitted as the frames complete.
+//
+// tmpl is the topology (atom order, residues, waters) every frame's
+// coordinates are applied to; nil infers a water topology from frame 0.
+// Without a -cache-dir the run uses an ephemeral store, discarded at exit —
+// frame-to-frame reuse still works, but nothing persists across runs.
+func runTraj(path string, warm bool, outDir string, tmpl *structure.System, cfg core.Config, sinks *obsSinks, out string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	if cfg.Sched.Cache.Store == nil {
+		dir, err := os.MkdirTemp("", "qframan-traj-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		st, err := store.Open(dir)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		cfg.Sched.Cache = sched.CacheOptions{Store: st}
+		fmt.Fprintf(os.Stderr, "traj: ephemeral store %s (pass -cache-dir to persist results across runs)\n", dir)
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	var stdout *bufio.Writer
+	if outDir == "" {
+		w := os.Stdout
+		if out != "" {
+			of, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer of.Close()
+			w = of
+		}
+		stdout = bufio.NewWriter(w)
+		defer stdout.Flush()
+	}
+
+	eng := traj.New(traj.Options{Core: cfg, WarmStart: warm})
+	rd := structure.NewTrajectoryReader(f)
+	t0 := time.Now()
+	var frames, moved, rotated, reused, recomputed, warmStarted int
+	for frame := 0; ; frame++ {
+		fr, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("traj frame %d: %w", frame, err)
+		}
+		var sys *structure.System
+		if tmpl == nil {
+			if tmpl, err = structure.SystemFromTrajFrame(fr); err != nil {
+				return fmt.Errorf("traj frame 0: infer topology: %w", err)
+			}
+			sys = tmpl
+		} else if sys, err = structure.ApplyFrame(tmpl, fr); err != nil {
+			return fmt.Errorf("traj frame %d: %w", frame, err)
+		}
+		res, err := eng.Step(sys)
+		if err != nil {
+			return err
+		}
+		r := res.Report
+		fmt.Fprintln(os.Stderr, r.String())
+		frames++
+		moved += r.Moved
+		rotated += r.Rotated
+		reused += r.Reused
+		recomputed += r.Recomputed
+		warmStarted += r.WarmStarted
+
+		if outDir != "" {
+			fp, err := os.Create(filepath.Join(outDir, fmt.Sprintf("frame_%03d.tsv", frame)))
+			if err != nil {
+				return err
+			}
+			if err := writeSpectrumTSV(fp, "# wavenumber_cm-1\traman_intensity", res.Spectrum); err != nil {
+				fp.Close()
+				return err
+			}
+			if err := fp.Close(); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintf(stdout, "# frame %d\n", frame)
+			if err := writeSpectrumTSV(stdout, "# wavenumber_cm-1\traman_intensity", res.Spectrum); err != nil {
+				return err
+			}
+		}
+	}
+	if frames == 0 {
+		return fmt.Errorf("traj: %s holds no frames", path)
+	}
+	fmt.Fprintf(os.Stderr, "traj total: %d frames in %v; moved=%d rotated=%d reused=%d recomputed=%d warm=%d\n",
+		frames, time.Since(t0).Round(time.Millisecond), moved, rotated, reused, recomputed, warmStarted)
+	return sinks.finish()
+}

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "fig8 | fig9 | fig10 | fig11 | table1 | kernels | cluster | all")
+	exp := flag.String("exp", "all", "fig8 | fig9 | fig10 | fig11 | table1 | kernels | cluster | traj | all")
 	scale := flag.Int("scale", 16, "divide the published node and fragment counts by this factor (1 = full scale)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	withFaults := flag.Bool("faults", false, "inject node failures into the simulations (per-node MTBF from -mtbf)")
@@ -62,6 +62,11 @@ func main() {
 	// full waterbox compute twice; it also only runs when named.
 	if *exp == "cluster" {
 		run("cluster", clusterExp)
+	}
+	// The trajectory experiment does full waterbox compute once per frame
+	// plus the incremental run; it also only runs when named.
+	if *exp == "traj" {
+		run("traj", trajExp)
 	}
 }
 

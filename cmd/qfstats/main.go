@@ -21,6 +21,10 @@
 // With -cluster <addr> the command queries a live qfcoord coordinator for
 // its metrics snapshot: per-worker fragment counts, lease reassignments,
 // and cache-tier hit ratios of the distributed runtime.
+//
+// With -traj <file.xyz> (optionally -in <topology>) the command diffs the
+// trajectory's fragment fingerprints frame to frame — no SCF — and reports
+// what an incremental qframan -traj run would schedule versus reuse.
 package main
 
 import (
@@ -39,6 +43,8 @@ func main() {
 	storeDir := flag.String("store", "", "inspect this qframan checkpoint store instead of computing system statistics")
 	traceIn := flag.String("trace", "", "summarize this Chrome trace JSON (as written by qframan -trace-out)")
 	clusterAddr := flag.String("cluster", "", "query a live qfcoord coordinator at this address for its metrics snapshot")
+	trajIn := flag.String("traj", "", "diff this extended-XYZ trajectory and report what an incremental run would schedule (no SCF)")
+	topoIn := flag.String("in", "", "topology for -traj in genstruct text format (default: infer waters from frame 0)")
 	residues := flag.Int("residues", 3180, "total residues across the trimer (paper: 3,180)")
 	chains := flag.Int("chains", 3, "number of chains (paper: trimer)")
 	fold := flag.Int("fold", 24, "serpentine fold period per chain")
@@ -47,6 +53,13 @@ func main() {
 	lambda := flag.Float64("lambda", 4.0, "two-body threshold λ in Å")
 	flag.Parse()
 
+	if *trajIn != "" {
+		if err := trajStats(*trajIn, *topoIn); err != nil {
+			fmt.Fprintln(os.Stderr, "qfstats:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *clusterAddr != "" {
 		if err := clusterStats(*clusterAddr); err != nil {
 			fmt.Fprintln(os.Stderr, "qfstats:", err)

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"qframan/internal/core"
+	"qframan/internal/structure"
+	"qframan/internal/traj"
+)
+
+// trajStats streams a trajectory through the computation-free frame differ
+// and prints what an incremental qframan -traj run would schedule: per-frame
+// moved/rotated/reused classification and the totals. It answers "how much
+// would this trajectory cost?" without running any SCF.
+func trajStats(path, inPath string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var tmpl *structure.System
+	if inPath != "" {
+		tf, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		tmpl, err = structure.ReadSystem(tf)
+		tf.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	eng := traj.New(traj.Options{Core: core.DefaultConfig()})
+	rd := structure.NewTrajectoryReader(f)
+	var frames, fragments, moved, rotated, reused int
+	for frame := 0; ; frame++ {
+		fr, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("frame %d: %w", frame, err)
+		}
+		var sys *structure.System
+		if tmpl == nil {
+			if tmpl, err = structure.SystemFromTrajFrame(fr); err != nil {
+				return fmt.Errorf("frame 0: infer topology: %w", err)
+			}
+			sys = tmpl
+		} else if sys, err = structure.ApplyFrame(tmpl, fr); err != nil {
+			return fmt.Errorf("frame %d: %w", frame, err)
+		}
+		r, err := eng.Diff(sys)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("frame %3d: fragments=%d moved=%d rotated=%d reused=%d (%.1f%% unchanged)\n",
+			r.Frame, r.Fragments, r.Moved, r.Rotated, r.Reused,
+			100*float64(r.Rotated+r.Reused)/float64(r.Fragments))
+		frames++
+		fragments += r.Fragments
+		moved += r.Moved
+		rotated += r.Rotated
+		reused += r.Reused
+	}
+	if frames == 0 {
+		return fmt.Errorf("%s holds no frames", path)
+	}
+	fmt.Printf("total: %d frames, %d fragment evaluations; moved=%d rotated=%d reused=%d\n",
+		frames, fragments, moved, rotated, reused)
+	fmt.Printf("an incremental run schedules %d of %d fragment evaluations (%.1f%%)\n",
+		moved+rotated, fragments, 100*float64(moved+rotated)/float64(fragments))
+	return nil
+}

@@ -177,7 +177,7 @@ type Bye struct {
 
 // JobWire is the physics subset of hessian.JobOptions that crosses the
 // wire — exactly the fields of the store's content fingerprint
-// (jobFingerprint), so a worker reconstructing JobOptions from it computes
+// (appendJobFingerprint), so a worker reconstructing JobOptions from it computes
 // the same content key and bit-identical results. Execution-only fields
 // (Obs, executors, warm starts) never travel.
 type JobWire struct {

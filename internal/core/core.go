@@ -89,12 +89,27 @@ func ComputeRamanDecomposed(sys *structure.System, dec *fragment.Decomposition, 
 	if cfg.Sched.Job.SkipAlpha {
 		return res, nil // Hessian-only run
 	}
+	res.Spectrum, res.IRSpectrum, err = SpectrumFromGlobal(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SpectrumFromGlobal solves the Raman (and, when cfg.IR, infrared) spectrum
+// from an assembled Global. One-shot runs and the trajectory engine share
+// this path, so a trajectory frame's spectrum is produced by exactly the
+// code — and exactly the floating-point schedule — as a one-shot run over
+// the same assembly.
+func SpectrumFromGlobal(g *hessian.Global, cfg Config) (*raman.Spectrum, *raman.Spectrum, error) {
+	sc := cfg.Sched.Obs
 	solver := int64(0) // 0 = Lanczos/GAGQ, 1 = dense diagonalization
 	if cfg.UseDense {
 		solver = 1
 	}
 	_, sspan := sc.Begin("spectrum", "core", obs.A("dense", solver))
 	var spec *raman.Spectrum
+	var err error
 	if cfg.UseDense {
 		spec, err = raman.DenseSpectrum(g, cfg.Raman, cfg.RigidCutoff)
 	} else {
@@ -102,12 +117,11 @@ func ComputeRamanDecomposed(sys *structure.System, dec *fragment.Decomposition, 
 	}
 	sspan.End()
 	if err != nil {
-		return nil, fmt.Errorf("core: spectrum: %w", err)
+		return nil, nil, fmt.Errorf("core: spectrum: %w", err)
 	}
-	res.Spectrum = spec
+	var ir *raman.Spectrum
 	if cfg.IR {
 		_, ispan := sc.Begin("spectrum.ir", "core", obs.A("dense", solver))
-		var ir *raman.Spectrum
 		if cfg.UseDense {
 			ir, err = raman.DenseIRSpectrum(g, cfg.Raman, cfg.RigidCutoff)
 		} else {
@@ -115,9 +129,8 @@ func ComputeRamanDecomposed(sys *structure.System, dec *fragment.Decomposition, 
 		}
 		ispan.End()
 		if err != nil {
-			return nil, fmt.Errorf("core: IR spectrum: %w", err)
+			return nil, nil, fmt.Errorf("core: IR spectrum: %w", err)
 		}
-		res.IRSpectrum = ir
 	}
-	return res, nil
+	return spec, ir, nil
 }

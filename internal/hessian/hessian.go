@@ -303,7 +303,7 @@ func ComputeFragment(f *fragment.Fragment, opt JobOptions) (*FragmentData, error
 }
 
 func computeFragmentOnce(f *fragment.Fragment, m *scf.Model, opt JobOptions, lastRung bool) (*FragmentData, error) {
-	refOpt, marginal, err := SolveReference(m, opt)
+	refOpt, _, marginal, err := SolveReference(m, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -330,11 +330,13 @@ func computeFragmentOnce(f *fragment.Fragment, m *scf.Model, opt JobOptions, las
 // SolveReference runs the fragment's reference SCF (and DFPT unless
 // SkipAlpha) at the options' smearing and returns options carrying the
 // warm-start data (reference charges, response matrices, working response
-// mixing) for the displaced worker jobs. The marginal flag reports that the
-// response only converged with heavy damping or very many cycles — a strong
-// predictor that displaced geometries will diverge, so callers should prefer
-// the next smearing rung when one is available.
-func SolveReference(m *scf.Model, opt JobOptions) (*JobOptions, bool, error) {
+// mixing) for the displaced worker jobs, plus the reference SCF result
+// itself — the trajectory engine keeps its converged charges and iteration
+// count to seed and account the same fragment's next frame. The marginal
+// flag reports that the response only converged with heavy damping or very
+// many cycles — a strong predictor that displaced geometries will diverge,
+// so callers should prefer the next smearing rung when one is available.
+func SolveReference(m *scf.Model, opt JobOptions) (*JobOptions, *scf.Result, bool, error) {
 	o := opt
 	if o.SCF.Smearing <= 0 {
 		o.SCF.Smearing = 0.002
@@ -345,21 +347,21 @@ func SolveReference(m *scf.Model, opt JobOptions) (*JobOptions, bool, error) {
 	o.DFPT.Obs = opt.Obs
 	ref, err := m.SolveSCF(o.SCF)
 	if err != nil {
-		return nil, false, fmt.Errorf("hessian: reference SCF: %w", err)
+		return nil, nil, false, fmt.Errorf("hessian: reference SCF: %w", err)
 	}
 	o.SCF.InitDeltaQ = ref.DeltaQ
 	marginal := false
 	if !o.SkipAlpha {
 		refResp, err := dfpt.Polarizability(m, ref, o.DFPT)
 		if err != nil {
-			return nil, false, fmt.Errorf("hessian: reference DFPT: %w", err)
+			return nil, nil, false, fmt.Errorf("hessian: reference DFPT: %w", err)
 		}
 		o.DFPT.InitP1 = refResp.P1
 		// Skip mixing rungs the reference already proved divergent.
 		o.DFPT.Mixing = refResp.MixingUsed
 		marginal = refResp.MixingUsed < 0.9*opt.DFPT.Mixing || refResp.Cycles > 2*opt.DFPT.MaxIter
 	}
-	return &o, marginal, nil
+	return &o, ref, marginal, nil
 }
 
 // ModelForFragment builds the SCF model of a fragment (positions are Å in

@@ -1,0 +1,211 @@
+package hessian
+
+import (
+	"fmt"
+	"sort"
+
+	"qframan/internal/constants"
+	"qframan/internal/fragment"
+)
+
+// IncrementalAssembler is AssembleDegraded with a per-fragment contribution
+// cache for trajectory runs: a fragment whose data, coefficient, and global
+// scatter indices are unchanged since the previous frame replays its
+// recorded Eq. 1 contribution instead of re-gathering it element by element
+// from the 3N×3N block. The replay preserves the exact add order of
+// AssembleDegraded — triplets enter the builder in the same sequence, vector
+// adds (including exact zeros) execute in the same sequence — so the
+// assembled Global is bit-identical to a from-scratch assembly; the golden
+// tests assert it.
+//
+// Cache entries are keyed by the *FragmentData pointer: the trajectory
+// engine hands an unchanged fragment the same pointer it held last frame,
+// while recomputed and store-served fragments arrive as fresh objects and
+// rebuild their entry. Entries whose pointers left the working set are
+// dropped after every assembly, so the cache never outgrows one frame.
+type IncrementalAssembler struct {
+	cache map[*FragmentData]*fragContrib
+	// Reused and Rebuilt report the previous Assemble call's cache
+	// behavior — the per-frame reassembly accounting of qfstats -traj.
+	Reused  int
+	Rebuilt int
+}
+
+// NewIncrementalAssembler returns an empty assembler.
+func NewIncrementalAssembler() *IncrementalAssembler {
+	return &IncrementalAssembler{cache: make(map[*FragmentData]*fragContrib)}
+}
+
+// fragContrib is one fragment's recorded Eq. 1 contribution: the nonzero
+// Hessian triplets in builder-insertion order and the dense vector adds in
+// loop order, all pre-multiplied by the fragment coefficient.
+type fragContrib struct {
+	coeff     float64
+	gidx      []int
+	withAlpha bool
+	// Hessian triplets (only v != 0, as AssembleDegraded inserts them).
+	rows, cols []int32
+	vals       []float64
+	// Vector adds: vecIdx[k] is the mass-weighting row 3*ga+da of the k-th
+	// add; alpha[c][k] / dip[k] hold the pre-multiplied addends.
+	vecIdx []int32
+	alpha  [6][]float64
+	hasDip bool
+	dip    [3][]float64
+}
+
+// buildContrib records the fragment's contribution by walking the data in
+// exactly AssembleDegraded's loop order.
+func buildContrib(f *fragment.Fragment, data *FragmentData, withAlpha bool) *fragContrib {
+	c := &fragContrib{
+		coeff:     f.Coeff,
+		gidx:      append([]int(nil), f.GlobalIdx...),
+		withAlpha: withAlpha,
+		hasDip:    data.DDipole[0] != nil,
+	}
+	for la, ga := range f.GlobalIdx {
+		if ga < 0 {
+			continue
+		}
+		for lb, gb := range f.GlobalIdx {
+			if gb < 0 {
+				continue
+			}
+			for da := 0; da < 3; da++ {
+				for db := 0; db < 3; db++ {
+					v := f.Coeff * data.Hess.At(3*la+da, 3*lb+db)
+					if v != 0 {
+						c.rows = append(c.rows, int32(3*ga+da))
+						c.cols = append(c.cols, int32(3*gb+db))
+						c.vals = append(c.vals, v)
+					}
+				}
+			}
+		}
+		for da := 0; da < 3; da++ {
+			c.vecIdx = append(c.vecIdx, int32(3*ga+da))
+			if withAlpha {
+				for comp := 0; comp < 6; comp++ {
+					c.alpha[comp] = append(c.alpha[comp], f.Coeff*data.DAlpha[comp][3*la+da])
+				}
+			}
+			if c.hasDip {
+				for k := 0; k < 3; k++ {
+					c.dip[k] = append(c.dip[k], f.Coeff*data.DDipole[k][3*la+da])
+				}
+			}
+		}
+	}
+	return c
+}
+
+// usable reports whether a cached contribution still describes the
+// fragment's current assembly role.
+func (c *fragContrib) usable(f *fragment.Fragment, withAlpha bool) bool {
+	if c.coeff != f.Coeff || c.withAlpha != withAlpha || len(c.gidx) != len(f.GlobalIdx) {
+		return false
+	}
+	for i, g := range c.gidx {
+		if g != f.GlobalIdx[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Assemble is AssembleDegraded through the contribution cache: identical
+// arguments, identical semantics, bit-identical output.
+func (a *IncrementalAssembler) Assemble(dec *fragment.Decomposition, massesAMU []float64, frags []*FragmentData, withAlpha bool, failed []int) (*Global, error) {
+	if len(frags) != len(dec.Fragments) {
+		return nil, fmt.Errorf("hessian: %d fragment data for %d fragments", len(frags), len(dec.Fragments))
+	}
+	allowMissing := make(map[int]bool, len(failed))
+	for _, fi := range failed {
+		if fi < 0 || fi >= len(dec.Fragments) {
+			return nil, fmt.Errorf("hessian: failed fragment index %d out of range", fi)
+		}
+		allowMissing[fi] = true
+	}
+	var dropped []int
+	natoms := len(massesAMU)
+	n3 := 3 * natoms
+	massesAU := make([]float64, natoms)
+	for i, m := range massesAMU {
+		massesAU[i] = m * constants.AMUToElectronMass
+	}
+
+	b := NewBuilder(n3)
+	var dAlpha [6][]float64
+	if withAlpha {
+		for c := range dAlpha {
+			dAlpha[c] = make([]float64, n3)
+		}
+	}
+	var dDip [3][]float64
+	for k := range dDip {
+		dDip[k] = make([]float64, n3)
+	}
+	a.Reused, a.Rebuilt = 0, 0
+	next := make(map[*FragmentData]*fragContrib, len(frags))
+	for fi := range dec.Fragments {
+		f := &dec.Fragments[fi]
+		data := frags[fi]
+		if data == nil {
+			if allowMissing[fi] {
+				dropped = append(dropped, fi)
+				continue
+			}
+			return nil, fmt.Errorf("hessian: missing data for fragment %d", fi)
+		}
+		c := a.cache[data]
+		if c != nil && c.usable(f, withAlpha) {
+			a.Reused++
+		} else {
+			c = buildContrib(f, data, withAlpha)
+			a.Rebuilt++
+		}
+		next[data] = c
+		for k := range c.vals {
+			b.Add(int(c.rows[k]), int(c.cols[k]), c.vals[k])
+		}
+		for k, gi := range c.vecIdx {
+			if withAlpha {
+				for comp := 0; comp < 6; comp++ {
+					dAlpha[comp][gi] += c.alpha[comp][k]
+				}
+			}
+			if c.hasDip {
+				for dk := 0; dk < 3; dk++ {
+					dDip[dk][gi] += c.dip[dk][k]
+				}
+			}
+		}
+	}
+	a.cache = next
+
+	sqrtM := make([]float64, n3)
+	for at := 0; at < natoms; at++ {
+		s := sqrtAU(massesAU[at])
+		sqrtM[3*at] = s
+		sqrtM[3*at+1] = s
+		sqrtM[3*at+2] = s
+	}
+	b.ScaleRowsCols(sqrtM)
+	sort.Ints(dropped)
+	g := &Global{H: b.Build(), Masses: massesAU, Dropped: dropped}
+	if withAlpha {
+		for c := 0; c < 6; c++ {
+			for i := 0; i < n3; i++ {
+				dAlpha[c][i] /= sqrtM[i]
+			}
+		}
+		g.DAlpha = dAlpha
+	}
+	for k := 0; k < 3; k++ {
+		for i := 0; i < n3; i++ {
+			dDip[k][i] /= sqrtM[i]
+		}
+	}
+	g.DDipole = dDip
+	return g, nil
+}

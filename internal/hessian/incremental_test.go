@@ -1,0 +1,204 @@
+package hessian
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qframan/internal/constants"
+	"qframan/internal/fragment"
+	"qframan/internal/linalg"
+)
+
+// randomDecomposition builds nf fragments over a natoms-atom system with
+// overlapping scatter maps, signed coefficients, and cap atoms (GlobalIdx
+// −1) — the full shape space AssembleDegraded handles.
+func randomDecomposition(rng *rand.Rand, nf, natoms int) (*fragment.Decomposition, []float64) {
+	dec := &fragment.Decomposition{Fragments: make([]fragment.Fragment, nf)}
+	for i := range dec.Fragments {
+		n := 2 + rng.Intn(3)
+		gidx := make([]int, n)
+		els := make([]constants.Element, n)
+		for a := 0; a < n; a++ {
+			gidx[a] = rng.Intn(natoms)
+			els[a] = constants.O
+		}
+		if rng.Intn(2) == 0 {
+			gidx[n-1] = -1 // cap hydrogen
+			els[n-1] = constants.H
+		}
+		coeff := 1.0
+		if rng.Intn(2) == 0 {
+			coeff = -1
+		}
+		dec.Fragments[i] = fragment.Fragment{ID: i, Coeff: coeff, Els: els, GlobalIdx: gidx}
+	}
+	masses := make([]float64, natoms)
+	for i := range masses {
+		masses[i] = 1 + 15*rng.Float64()
+	}
+	return dec, masses
+}
+
+// randomData fills a fragment-sized data block with signed values and exact
+// zeros (zeros exercise the builder's v != 0 skip and the ±0 vector adds).
+func randomData(rng *rand.Rand, natoms int, withAlpha bool) *FragmentData {
+	n3 := 3 * natoms
+	fd := &FragmentData{Hess: linalg.NewMatrix(n3, n3)}
+	for r := 0; r < n3; r++ {
+		for c := 0; c < n3; c++ {
+			if rng.Intn(3) > 0 {
+				fd.Hess.Set(r, c, rng.NormFloat64())
+			}
+		}
+	}
+	if withAlpha {
+		for c := range fd.DAlpha {
+			fd.DAlpha[c] = make([]float64, n3)
+			for i := range fd.DAlpha[c] {
+				if rng.Intn(4) > 0 {
+					fd.DAlpha[c][i] = rng.NormFloat64()
+				}
+			}
+		}
+	}
+	if rng.Intn(4) > 0 {
+		for k := range fd.DDipole {
+			fd.DDipole[k] = make([]float64, n3)
+			for i := range fd.DDipole[k] {
+				fd.DDipole[k][i] = rng.NormFloat64()
+			}
+		}
+	}
+	return fd
+}
+
+// globalsBitEqual compares two assembled Globals to the last float64 bit.
+func globalsBitEqual(t *testing.T, a, b *Global) {
+	t.Helper()
+	if a.H.N != b.H.N || len(a.H.Val) != len(b.H.Val) {
+		t.Fatalf("Hessian shape differs: %dx%d nnz=%d vs %dx%d nnz=%d",
+			a.H.N, a.H.N, len(a.H.Val), b.H.N, b.H.N, len(b.H.Val))
+	}
+	for i := range a.H.RowPtr {
+		if a.H.RowPtr[i] != b.H.RowPtr[i] {
+			t.Fatalf("RowPtr[%d] differs", i)
+		}
+	}
+	for i := range a.H.Val {
+		if a.H.Col[i] != b.H.Col[i] || math.Float64bits(a.H.Val[i]) != math.Float64bits(b.H.Val[i]) {
+			t.Fatalf("Hessian entry %d differs: (%d,%v) vs (%d,%v)", i, a.H.Col[i], a.H.Val[i], b.H.Col[i], b.H.Val[i])
+		}
+	}
+	for c := range a.DAlpha {
+		if !bitEqualSlice(a.DAlpha[c], b.DAlpha[c]) {
+			t.Fatalf("DAlpha[%d] differs", c)
+		}
+	}
+	for k := range a.DDipole {
+		if !bitEqualSlice(a.DDipole[k], b.DDipole[k]) {
+			t.Fatalf("DDipole[%d] differs", k)
+		}
+	}
+	if len(a.Dropped) != len(b.Dropped) {
+		t.Fatalf("Dropped %v vs %v", a.Dropped, b.Dropped)
+	}
+	for i := range a.Dropped {
+		if a.Dropped[i] != b.Dropped[i] {
+			t.Fatalf("Dropped %v vs %v", a.Dropped, b.Dropped)
+		}
+	}
+}
+
+// TestIncrementalAssemblerBitIdentical: across a sequence of "frames" where
+// some fragments keep their data pointer (reused), some get fresh objects
+// (recomputed), and some fail, the cached reassembly must match a
+// from-scratch AssembleDegraded bit-for-bit.
+func TestIncrementalAssemblerBitIdentical(t *testing.T) {
+	for _, withAlpha := range []bool{true, false} {
+		rng := rand.New(rand.NewSource(11))
+		dec, masses := randomDecomposition(rng, 12, 7)
+		asm := NewIncrementalAssembler()
+		datas := make([]*FragmentData, len(dec.Fragments))
+		for i := range datas {
+			datas[i] = randomData(rng, dec.Fragments[i].NumAtoms(), withAlpha)
+		}
+		for frame := 0; frame < 4; frame++ {
+			var failed []int
+			if frame > 0 {
+				// Replace a random subset with fresh data (simulating
+				// recompute), keep the rest's pointers, fail one fragment.
+				for i := range datas {
+					if rng.Intn(3) == 0 {
+						datas[i] = randomData(rng, dec.Fragments[i].NumAtoms(), withAlpha)
+					}
+				}
+				fi := rng.Intn(len(datas))
+				datas[fi] = nil
+				failed = []int{fi}
+			}
+			want, err := AssembleDegraded(dec, masses, datas, withAlpha, failed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := asm.Assemble(dec, masses, datas, withAlpha, failed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			globalsBitEqual(t, got, want)
+			if frame > 0 && asm.Reused == 0 {
+				t.Fatalf("frame %d (alpha=%v): cache reused nothing", frame, withAlpha)
+			}
+			if frame == 0 && asm.Reused != 0 {
+				t.Fatalf("first assembly claims %d reused entries", asm.Reused)
+			}
+			// Restore the failed fragment for the next frame with new data.
+			if len(failed) > 0 {
+				fi := failed[0]
+				datas[fi] = randomData(rng, dec.Fragments[fi].NumAtoms(), withAlpha)
+			}
+		}
+	}
+}
+
+// TestIncrementalAssemblerInvalidation: a cached entry must be rebuilt when
+// the fragment's assembly role (coefficient or scatter indices) changes even
+// though the data pointer is unchanged.
+func TestIncrementalAssemblerInvalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dec, masses := randomDecomposition(rng, 4, 5)
+	datas := make([]*FragmentData, len(dec.Fragments))
+	for i := range datas {
+		datas[i] = randomData(rng, dec.Fragments[i].NumAtoms(), true)
+	}
+	asm := NewIncrementalAssembler()
+	if _, err := asm.Assemble(dec, masses, datas, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a coefficient: same pointer, different role.
+	dec.Fragments[2].Coeff = -dec.Fragments[2].Coeff
+	want, err := AssembleDegraded(dec, masses, datas, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := asm.Assemble(dec, masses, datas, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	globalsBitEqual(t, got, want)
+	if asm.Rebuilt < 1 {
+		t.Fatal("coefficient flip did not rebuild the cached contribution")
+	}
+
+	// Error paths must match AssembleDegraded's.
+	if _, err := asm.Assemble(dec, masses, datas[:2], true, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	datas[1] = nil
+	if _, err := asm.Assemble(dec, masses, datas, true, nil); err == nil {
+		t.Fatal("silent nil data accepted")
+	}
+	if _, err := asm.Assemble(dec, masses, datas, true, []int{99}); err == nil {
+		t.Fatal("out-of-range failed index accepted")
+	}
+}

@@ -62,6 +62,16 @@ const (
 	MetricClusterTaskFails    = "cluster_task_failures_total"
 	MetricClusterWorkerFrags  = "cluster_worker_fragments_total"
 	MetricClusterLeaseSeconds = "cluster_lease_seconds"
+	// Trajectory-engine metrics recorded by internal/traj (see DESIGN.md
+	// §10): per-frame diff classification counts, engine recomputes,
+	// warm-started references, and frame wall time.
+	MetricTrajFrames       = "traj_frames_total"
+	MetricTrajMoved        = "traj_moved_total"
+	MetricTrajRotated      = "traj_rotated_total"
+	MetricTrajReused       = "traj_reused_total"
+	MetricTrajRecomputed   = "traj_recomputed_total"
+	MetricTrajWarmStarts   = "traj_warm_starts_total"
+	MetricTrajFrameSeconds = "traj_frame_seconds"
 	// Per-phase duration histograms: dfpt_phase_<name>_seconds.
 	metricPhasePrefix = "dfpt_phase_"
 	metricPhaseSuffix = "_seconds"

@@ -52,6 +52,22 @@ type Options struct {
 	// displacement fan-out). Tests and custom engines use it; nil selects
 	// the built-in SCF+DFPT pipeline (DefaultProcess).
 	Process ProcessFunc
+	// WarmStart, when non-nil, supplies an initial per-atom charge guess
+	// for a fragment's reference SCF — the trajectory engine seeds a moved
+	// fragment with the converged charges of its own previous frame (per-
+	// atom scalars are rotation-invariant, so the seed survives rigid
+	// motion). A nil or wrong-length return falls back to the cold start.
+	// Seeding is keyed by fragment *identity*, never by content hash: it
+	// changes the iteration path, not the fingerprint, so warm-started
+	// results converge to the same answer within the SCF tolerance but are
+	// not guaranteed bit-identical to cold ones (the -traj-warm=0 escape
+	// hatch restores strict bit-identity).
+	WarmStart func(f *fragment.Fragment) []float64
+	// OnReference, when non-nil, observes each computed fragment's
+	// converged reference SCF: its charges (the next frame's warm seed) and
+	// iteration count (the warm-start accounting). Called from leader
+	// goroutines — implementations must be safe for concurrent use.
+	OnReference func(f *fragment.Fragment, deltaQ []float64, iters int)
 	// Cancel, when non-nil, is the job-scoped run handle of a serving
 	// frontend: closing it aborts the run. Leaders stop taking work,
 	// in-flight attempts finish (and their checkpoints still land, so
@@ -797,13 +813,25 @@ func leaderProcessFragment(f *fragment.Fragment, opt Options) (*hessian.Fragment
 	// One reference SCF+DFPT solve warm-starts all of this fragment's
 	// workers; if anything fails to converge the whole fragment escalates
 	// to the next smearing rung (all displacements must share one
-	// free-energy surface).
+	// free-energy surface). A trajectory warm seed (previous frame's
+	// converged charges for this fragment identity) starts the reference
+	// SCF closer to its fixed point; wrong-length seeds are ignored rather
+	// than failing the fragment.
+	var seed []float64
+	if opt.WarmStart != nil {
+		if s := opt.WarmStart(f); len(s) == f.NumAtoms() {
+			seed = s
+		}
+	}
 	var refErr error
 	rungs := hessian.SmearingRungs(opt.Job.SCF.Smearing)
 	for ri, sigma := range rungs {
 		o := opt.Job
 		o.SCF.Smearing = sigma
-		refOpt, marginal, err := hessian.SolveReference(m, o)
+		if seed != nil {
+			o.SCF.InitDeltaQ = seed
+		}
+		refOpt, ref, marginal, err := hessian.SolveReference(m, o)
 		if err != nil {
 			refErr = err
 			continue
@@ -814,6 +842,9 @@ func leaderProcessFragment(f *fragment.Fragment, opt Options) (*hessian.Fragment
 		}
 		data, err := runFragmentWorkers(f, m, opt, *refOpt)
 		if err == nil {
+			if opt.OnReference != nil {
+				opt.OnReference(f, ref.DeltaQ, ref.Iterations)
+			}
 			return data, nil
 		}
 		refErr = err

@@ -4,7 +4,9 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"hash"
 	"math"
+	"sync"
 
 	"qframan/internal/fragment"
 	"qframan/internal/geom"
@@ -60,13 +62,37 @@ const fingerprintVersion = "qfkey/v1/codec1\n"
 // then canonicalizes translation only: field runs never dedupe rotated
 // copies against each other.
 func Fingerprint(f *fragment.Fragment, opt hessian.JobOptions) (Key, Frame) {
+	s := fpPool.Get().(*fpScratch)
+	k, fr := fingerprintInto(s, f, opt)
+	fpPool.Put(s)
+	return k, fr
+}
+
+// fpScratch is the reusable canonicalization/hashing state of one
+// Fingerprint call: the serialization buffer and the SHA-256 digest. The
+// trajectory engine fingerprints every fragment of every frame on its diff
+// hot path, so the steady state must be allocation-free; the pool also
+// serves the scheduler's up-front fingerprint pass and the cluster/serving
+// frontends for free.
+type fpScratch struct {
+	buf []byte
+	h   hash.Hash
+	// sum receives the digest: Sum appends through an interface, so a
+	// stack-local destination would escape and allocate per call.
+	sum [sha256.Size]byte
+}
+
+var fpPool = sync.Pool{New: func() any {
+	return &fpScratch{buf: make([]byte, 0, 1024), h: sha256.New()}
+}}
+
+// fingerprintInto is Fingerprint against caller-owned scratch.
+func fingerprintInto(s *fpScratch, f *fragment.Fragment, opt hessian.JobOptions) (Key, Frame) {
 	fr := frameFor(f.Pos)
 	if opt.SCF.Field != (geom.Vec3{}) {
 		fr.Rotate = false
 	}
-	h := sha256.New()
-	buf := make([]byte, 0, 64+len(f.Els)+24*len(f.Pos))
-	buf = append(buf, fingerprintVersion...)
+	buf := append(s.buf[:0], fingerprintVersion...)
 	buf = appendU32(buf, uint32(len(f.Els)))
 	for _, el := range f.Els {
 		buf = append(buf, byte(el))
@@ -77,22 +103,30 @@ func Fingerprint(f *fragment.Fragment, opt hessian.JobOptions) (Key, Frame) {
 		buf = appendU64(buf, uint64(quantize(q.Y)))
 		buf = appendU64(buf, uint64(quantize(q.Z)))
 	}
-	h.Write(buf)
-	h.Write(jobFingerprint(opt))
-	var k Key
-	h.Sum(k[:0])
-	return k, fr
+	buf = appendJobFingerprint(buf, opt)
+	s.buf = buf // keep any growth for the next call
+	s.h.Reset()
+	s.h.Write(buf)
+	s.h.Sum(s.sum[:0])
+	return Key(s.sum), fr
+}
+
+// fingerprintAlloc is the pre-pool implementation — fresh buffers and a
+// fresh digest per call — kept as the paired baseline of
+// BenchmarkFingerprint so the allocation win stays measured, not asserted.
+func fingerprintAlloc(f *fragment.Fragment, opt hessian.JobOptions) (Key, Frame) {
+	s := &fpScratch{buf: make([]byte, 0, 64+len(f.Els)+24*len(f.Pos)), h: sha256.New()}
+	return fingerprintInto(s, f, opt)
 }
 
 // quantize snaps a coordinate to the fingerprint grid.
 func quantize(x float64) int64 { return int64(math.Round(x / coordQuantum)) }
 
-// jobFingerprint serializes every physics-relevant JobOptions field with
-// exact float bit patterns. Field order is part of the format; extending
-// JobOptions with a new physics knob must append it here and bump
-// fingerprintVersion.
-func jobFingerprint(opt hessian.JobOptions) []byte {
-	b := make([]byte, 0, 160)
+// appendJobFingerprint serializes every physics-relevant JobOptions field
+// with exact float bit patterns into the caller's buffer. Field order is
+// part of the format; extending JobOptions with a new physics knob must
+// append it here and bump fingerprintVersion.
+func appendJobFingerprint(b []byte, opt hessian.JobOptions) []byte {
 	b = appendU64(b, math.Float64bits(opt.Step))
 	b = appendBool(b, opt.SkipAlpha)
 	b = appendU64(b, uint64(opt.SCF.MaxIter))

@@ -1,0 +1,103 @@
+package structure
+
+import (
+	"math/rand"
+
+	"qframan/internal/constants"
+	"qframan/internal/geom"
+)
+
+// PerturbOptions configures the synthetic MD-like frame generator.
+type PerturbOptions struct {
+	// Frames is the number of frames to produce, including the unperturbed
+	// frame 0.
+	Frames int
+	// MoveFrac is the fraction of molecules whose atoms receive independent
+	// per-atom jitter on each frame after the first — the fragments whose
+	// content fingerprints genuinely change.
+	MoveFrac float64
+	// Jitter is the per-axis amplitude (Å) of the uniform per-atom jitter.
+	// Keep it well under the covalent-bond tolerance so perturbed molecules
+	// stay chemically intact.
+	Jitter float64
+	// RigidFrac is the fraction of molecules rigidly translated as a whole
+	// on each frame after the first. A rigid translation leaves the
+	// rigid-motion-canonical fingerprint unchanged, so these molecules
+	// exercise the store's rotation/dedup path, not the recompute path.
+	RigidFrac float64
+	// RigidStep is the per-axis amplitude (Å) of the rigid translation.
+	RigidStep float64
+	// Seed drives the deterministic RNG: equal options produce bit-equal
+	// trajectories.
+	Seed int64
+}
+
+// DefaultPerturbOptions returns the benchmark/CI shape: a short trajectory
+// where a small minority of molecules move per frame.
+func DefaultPerturbOptions() PerturbOptions {
+	return PerturbOptions{
+		Frames:    3,
+		MoveFrac:  0.15,
+		Jitter:    0.02,
+		RigidFrac: 0,
+		RigidStep: 0.25,
+		Seed:      1,
+	}
+}
+
+// PerturbedTrajectory generates a deterministic MD-like frame sequence from
+// a base system: frame 0 is the base coordinates bit-exactly, and every
+// subsequent frame perturbs a random subset of molecules relative to the
+// previous frame (a random walk, like real dynamics). Unchosen molecules
+// keep their previous coordinates bit-exactly — the property that lets the
+// trajectory engine's fingerprint diff prove "unmoved" without tolerance
+// games.
+func PerturbedTrajectory(base *System, opt PerturbOptions) []*TrajFrame {
+	if opt.Frames <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	mols := make([]Residue, 0, len(base.Residues)+len(base.Waters))
+	mols = append(mols, base.Residues...)
+	mols = append(mols, base.Waters...)
+
+	els := make([]constants.Element, len(base.Atoms))
+	for i, a := range base.Atoms {
+		els[i] = a.El
+	}
+	cur := base.Positions()
+	frames := make([]*TrajFrame, 0, opt.Frames)
+	for fi := 0; fi < opt.Frames; fi++ {
+		if fi > 0 {
+			perturbStep(cur, mols, rng, opt)
+		}
+		f := &TrajFrame{Index: fi, Els: els, Pos: make([]geom.Vec3, len(cur))}
+		copy(f.Pos, cur)
+		frames = append(frames, f)
+	}
+	return frames
+}
+
+// perturbStep advances the coordinate random walk by one frame.
+func perturbStep(cur []geom.Vec3, mols []Residue, rng *rand.Rand, opt PerturbOptions) {
+	for _, m := range mols {
+		r := rng.Float64()
+		switch {
+		case r < opt.MoveFrac:
+			for i := m.First; i < m.First+m.Count; i++ {
+				cur[i].X += (2*rng.Float64() - 1) * opt.Jitter
+				cur[i].Y += (2*rng.Float64() - 1) * opt.Jitter
+				cur[i].Z += (2*rng.Float64() - 1) * opt.Jitter
+			}
+		case r < opt.MoveFrac+opt.RigidFrac:
+			d := geom.Vec3{
+				X: (2*rng.Float64() - 1) * opt.RigidStep,
+				Y: (2*rng.Float64() - 1) * opt.RigidStep,
+				Z: (2*rng.Float64() - 1) * opt.RigidStep,
+			}
+			for i := m.First; i < m.First+m.Count; i++ {
+				cur[i] = cur[i].Add(d)
+			}
+		}
+	}
+}
