@@ -9,6 +9,7 @@
 //	genstruct -kind protein -residues 50 -fold 10 -seed 7 -o protein.txt
 //	genstruct -kind water -box 8x8x8 -o water.txt
 //	genstruct -kind solvated -residues 20 -pad 6 -o solvated.txt
+//	genstruct -kind polymer -chains 4 -monomers 8 -o melt.txt
 //	genstruct -kind stats -box 324x324x322        # ~101M-atom statistics
 //	genstruct -kind traj -box 3x3x2 -frames 3 -topo top.txt -o traj.xyz
 package main
@@ -28,10 +29,12 @@ import (
 )
 
 func main() {
-	kind := flag.String("kind", "protein", "protein | water | dimers | solvated | stats | traj")
+	kind := flag.String("kind", "protein", "protein | water | dimers | solvated | polymer | stats | traj")
 	residues := flag.Int("residues", 30, "protein length in residues")
 	fold := flag.Int("fold", 0, "serpentine fold period (0 = extended chain)")
 	seed := flag.Int64("seed", 1, "sequence seed")
+	chains := flag.Int("chains", 4, "polymer melt: number of PEG chains")
+	monomers := flag.Int("monomers", 8, "polymer melt: oxyethylene monomers per chain")
 	box := flag.String("box", "6x6x6", "water box dimensions nx x ny x nz")
 	dimers := flag.Int("dimers", 100, "number of water dimers")
 	pad := flag.Float64("pad", 6.0, "solvation padding in Å")
@@ -43,7 +46,7 @@ func main() {
 	topo := flag.String("topo", "", "also write the frame-0 topology in genstruct text format to this file (traj)")
 	flag.Parse()
 
-	if err := run(*kind, *residues, *fold, *seed, *box, *dimers, *pad, *out, *lambda,
+	if err := run(*kind, *residues, *fold, *seed, *box, *dimers, *chains, *monomers, *pad, *out, *lambda,
 		*frames, *jitter, *movefrac, *topo); err != nil {
 		fmt.Fprintln(os.Stderr, "genstruct:", err)
 		os.Exit(1)
@@ -64,7 +67,7 @@ func parseBox(s string) (nx, ny, nz int, err error) {
 	return dims[0], dims[1], dims[2], nil
 }
 
-func run(kind string, residues, fold int, seed int64, box string, dimers int, pad float64, out string, lambda float64,
+func run(kind string, residues, fold int, seed int64, box string, dimers, chains, monomers int, pad float64, out string, lambda float64,
 	frames int, jitter, movefrac float64, topo string) error {
 	var sys *structure.System
 	switch kind {
@@ -90,6 +93,8 @@ func run(kind string, residues, fold int, seed int64, box string, dimers int, pa
 			return err
 		}
 		sys = structure.SolvateInWater(protein, pad, 2.4)
+	case "polymer":
+		sys = structure.BuildPolymerMelt(chains, monomers, seed)
 	case "traj":
 		nx, ny, nz, err := parseBox(box)
 		if err != nil {
@@ -126,8 +131,8 @@ func run(kind string, residues, fold int, seed int64, box string, dimers int, pa
 	if err := sys.WriteText(w); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "genstruct: %d atoms, %d residues, %d waters\n",
-		sys.NumAtoms(), len(sys.Residues), len(sys.Waters))
+	fmt.Fprintf(os.Stderr, "genstruct: %d atoms, %d residues, %d waters, %d molecules\n",
+		sys.NumAtoms(), len(sys.Residues), len(sys.Waters), len(sys.Molecules))
 	return nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"qframan/internal/cluster"
 	"qframan/internal/core"
 	"qframan/internal/faults"
+	"qframan/internal/fragment"
 	"qframan/internal/obs"
 	"qframan/internal/par"
 	"qframan/internal/sched"
@@ -37,6 +38,11 @@ func main() {
 	dimers := flag.Int("dimers", 0, "build a water-dimer system of this many dimers")
 	waterBox := flag.Int("water", 0, "build an N×N×N water box")
 	solvate := flag.Bool("solvate", false, "solvate the -seq protein in water")
+
+	var ff fragFlags
+	flag.StringVar(&ff.partitioner, "partitioner", "qf", "fragmentation engine: qf (peptide/water chemistry rules) or graph (general bond-graph min-cut; required for systems with generic molecules)")
+	flag.IntVar(&ff.fragSize, "frag-size", 0, "graph partitioner: soft fragment-size target in atoms (0 = default 24)")
+	flag.IntVar(&ff.fragMax, "frag-max", 0, "graph partitioner: hard fragment-size cap for the cleanup pass (0 = 2×frag-size)")
 
 	fmin := flag.Float64("fmin", 100, "spectrum start (cm⁻¹)")
 	fmax := flag.Float64("fmax", 4000, "spectrum end (cm⁻¹)")
@@ -78,11 +84,35 @@ func main() {
 		par.SetBudget(*kernelThreads)
 	}
 	if err := run(*in, *seq, *fold, *dimers, *waterBox, *solvate,
-		*fmin, *fmax, *fstep, *sigma, *k, *dense, *leaders, *workers, *clusterAddr, *out, *irOut, ft, cf, of,
+		*fmin, *fmax, *fstep, *sigma, *k, *dense, *leaders, *workers, *clusterAddr, *out, *irOut, ff, ft, cf, of,
 		*trajPath, *trajWarm, *trajOut); err != nil {
 		fmt.Fprintln(os.Stderr, "qframan:", err)
 		os.Exit(1)
 	}
+}
+
+// fragFlags bundles the fragmentation-engine knobs.
+type fragFlags struct {
+	partitioner string
+	fragSize    int
+	fragMax     int
+}
+
+// apply resolves the partitioner and wires it into the pipeline config.
+func (ff fragFlags) apply(cfg *core.Config) error {
+	gOpt := fragment.DefaultGraphOptions()
+	if ff.fragSize > 0 {
+		gOpt.TargetAtoms = ff.fragSize
+	}
+	if ff.fragMax > 0 {
+		gOpt.MaxAtoms = ff.fragMax
+	}
+	p, err := fragment.NewPartitioner(ff.partitioner, cfg.Fragment, gOpt)
+	if err != nil {
+		return err
+	}
+	cfg.Partitioner = p
+	return nil
 }
 
 // obsFlags bundles the observability knobs.
@@ -248,7 +278,7 @@ func buildSystem(in, seq string, fold, dimers, waterBox int, solvate bool) (*str
 }
 
 func run(in, seq string, fold, dimers, waterBox int, solvate bool,
-	fmin, fmax, fstep, sigma float64, k int, dense bool, leaders, workers int, clusterAddr, out, irOut string, ft faultFlags, cf cacheFlags, of obsFlags,
+	fmin, fmax, fstep, sigma float64, k int, dense bool, leaders, workers int, clusterAddr, out, irOut string, ff fragFlags, ft faultFlags, cf cacheFlags, of obsFlags,
 	trajPath string, trajWarm bool, trajOut string) error {
 
 	var sys *structure.System
@@ -260,8 +290,8 @@ func run(in, seq string, fold, dimers, waterBox int, solvate bool,
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "system: %d atoms, %d residues, %d waters\n",
-			sys.NumAtoms(), len(sys.Residues), len(sys.Waters))
+		fmt.Fprintf(os.Stderr, "system: %d atoms, %d residues, %d waters, %d molecules\n",
+			sys.NumAtoms(), len(sys.Residues), len(sys.Waters), len(sys.Molecules))
 	}
 
 	cfg := core.DefaultConfig()
@@ -272,6 +302,9 @@ func run(in, seq string, fold, dimers, waterBox int, solvate bool,
 	cfg.Sched.NumLeaders = leaders
 	cfg.Sched.WorkersPerLeader = workers
 	cfg.IR = irOut != ""
+	if err := ff.apply(&cfg); err != nil {
+		return err
+	}
 	ft.apply(&cfg)
 	cstore, err := cf.apply(&cfg)
 	if err != nil {
@@ -306,9 +339,15 @@ func run(in, seq string, fold, dimers, waterBox int, solvate bool,
 		return err
 	}
 	st := res.Decomposition.Stats
-	fmt.Fprintf(os.Stderr, "fragments: %d total (%d residue, %d concap, %d water, %d rr pairs, %d rw pairs, %d ww pairs); sizes %d–%d atoms\n",
-		st.TotalFragments, st.NumResidueFragments, st.NumConcaps, st.NumWaterFragments,
-		st.NumRRPairs, st.NumRWPairs, st.NumWWPairs, st.MinAtoms, st.MaxAtoms)
+	if st.Partitioner == "graph" {
+		fmt.Fprintf(os.Stderr, "fragments[graph]: %d total (%d parts, %d cut bonds, %d bonded pairs, %d spatial pairs); sizes %d–%d atoms\n",
+			st.TotalFragments, st.NumParts, st.NumCutBonds, st.NumBondedPairs, st.NumSpatialPairs,
+			st.MinAtoms, st.MaxAtoms)
+	} else {
+		fmt.Fprintf(os.Stderr, "fragments: %d total (%d residue, %d concap, %d water, %d rr pairs, %d rw pairs, %d ww pairs); sizes %d–%d atoms\n",
+			st.TotalFragments, st.NumResidueFragments, st.NumConcaps, st.NumWaterFragments,
+			st.NumRRPairs, st.NumRWPairs, st.NumWWPairs, st.MinAtoms, st.MaxAtoms)
+	}
 	fmt.Fprintf(os.Stderr, "tasks: %d over %d leaders; elapsed %v\n",
 		res.SchedReport.NumTasks, len(res.SchedReport.Leaders), time.Since(t0))
 	if cstore != nil {

@@ -25,12 +25,18 @@
 // With -traj <file.xyz> (optionally -in <topology>) the command diffs the
 // trajectory's fragment fingerprints frame to frame — no SCF — and reports
 // what an incremental qframan -traj run would schedule versus reuse.
+//
+// With -frag <file> the command decomposes a structure with every applicable
+// partitioner (qf, graph) and prints per-partitioner fragment inventories and
+// fragment-size histograms side by side — the tool for choosing a -frag-size
+// before an expensive run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"qframan/internal/fragment"
@@ -45,6 +51,8 @@ func main() {
 	clusterAddr := flag.String("cluster", "", "query a live qfcoord coordinator at this address for its metrics snapshot")
 	trajIn := flag.String("traj", "", "diff this extended-XYZ trajectory and report what an incremental run would schedule (no SCF)")
 	topoIn := flag.String("in", "", "topology for -traj in genstruct text format (default: infer waters from frame 0)")
+	fragIn := flag.String("frag", "", "decompose this structure file with every applicable partitioner and print per-partitioner fragment-size histograms")
+	fragSize := flag.Int("frag-size", 0, "graph partitioner target fragment size in atoms for -frag (0 = default 24)")
 	residues := flag.Int("residues", 3180, "total residues across the trimer (paper: 3,180)")
 	chains := flag.Int("chains", 3, "number of chains (paper: trimer)")
 	fold := flag.Int("fold", 24, "serpentine fold period per chain")
@@ -53,6 +61,13 @@ func main() {
 	lambda := flag.Float64("lambda", 4.0, "two-body threshold λ in Å")
 	flag.Parse()
 
+	if *fragIn != "" {
+		if err := fragStats(*fragIn, *fragSize, *lambda); err != nil {
+			fmt.Fprintln(os.Stderr, "qfstats:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *trajIn != "" {
 		if err := trajStats(*trajIn, *topoIn); err != nil {
 			fmt.Fprintln(os.Stderr, "qfstats:", err)
@@ -115,6 +130,67 @@ func main() {
 	fmt.Printf("  water–water pairs:  %12d   (%.2f per molecule; paper: 128,341,476 ≈ 3.80)\n",
 		pairs, float64(pairs)/float64(frags))
 	fmt.Printf("  elapsed: %v\n", time.Since(t0))
+}
+
+// fragStats decomposes a structure file with every applicable partitioner
+// and prints per-partitioner fragment inventories and size histograms for
+// qfstats -frag.
+func fragStats(path string, fragSize int, lambda float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	sys, err := structure.ReadSystem(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("system %s: %d atoms, %d residues, %d waters, %d molecules\n",
+		path, sys.NumAtoms(), len(sys.Residues), len(sys.Waters), len(sys.Molecules))
+
+	qfOpt := fragment.DefaultOptions()
+	qfOpt.LambdaRR, qfOpt.LambdaRW, qfOpt.LambdaWW = lambda, lambda, lambda
+	gOpt := fragment.DefaultGraphOptions()
+	gOpt.Lambda = lambda
+	if fragSize > 0 {
+		gOpt.TargetAtoms = fragSize
+		gOpt.MaxAtoms = 0 // renormalize to 2×target
+	}
+	for _, p := range []fragment.Partitioner{
+		fragment.QFPartitioner{Opt: qfOpt},
+		fragment.GraphPartitioner{Opt: gOpt},
+	} {
+		t0 := time.Now()
+		dec, err := p.Partition(sys)
+		if err != nil {
+			fmt.Printf("\npartitioner %-5s — not applicable: %v\n", p.Name(), err)
+			continue
+		}
+		st := dec.Stats
+		fmt.Printf("\npartitioner %-5s (%v):\n", p.Name(), time.Since(t0))
+		if st.Partitioner == "graph" {
+			fmt.Printf("  parts:         %8d   (target %d atoms)\n", st.NumParts, gOpt.TargetAtoms)
+			fmt.Printf("  cut bonds:     %8d\n", st.NumCutBonds)
+			fmt.Printf("  bonded pairs:  %8d\n", st.NumBondedPairs)
+			fmt.Printf("  spatial pairs: %8d\n", st.NumSpatialPairs)
+		} else {
+			fmt.Printf("  residue fragments: %8d\n", st.NumResidueFragments)
+			fmt.Printf("  concaps:           %8d\n", st.NumConcaps)
+			fmt.Printf("  water fragments:   %8d\n", st.NumWaterFragments)
+			fmt.Printf("  two-body pairs:    %8d rr, %d rw, %d ww\n", st.NumRRPairs, st.NumRWPairs, st.NumWWPairs)
+		}
+		fmt.Printf("  total fragments: %6d; sizes %d–%d atoms\n", st.TotalFragments, st.MinAtoms, st.MaxAtoms)
+		fmt.Println("  fragment-size histogram (atoms → fragments):")
+		sizes := make([]int, 0, len(st.SizeHistogram))
+		for n := range st.SizeHistogram {
+			sizes = append(sizes, n)
+		}
+		sort.Ints(sizes)
+		for _, n := range sizes {
+			fmt.Printf("    %4d atoms: %6d\n", n, st.SizeHistogram[n])
+		}
+	}
+	return nil
 }
 
 // traceStats prints the straggler analytics and flame summary of a Chrome

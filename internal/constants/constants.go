@@ -136,6 +136,17 @@ func (e Element) MassAU() float64 { return elements[e].massA * AMUToElectronMass
 // CovalentRadius returns the covalent radius in Å.
 func (e Element) CovalentRadius() float64 { return elements[e].covalentR }
 
+// electronegativity holds Pauling electronegativities, used by the graph
+// partitioner's cut-quality score: severing a polar bond perturbs the
+// fragments' charge distribution more than severing an apolar C–C bond, so
+// polar bonds carry a higher severance cost (see FRAGMENTATION.md).
+var electronegativity = [numElements]float64{
+	H: 2.20, C: 2.55, N: 3.04, O: 3.44, S: 2.58,
+}
+
+// Electronegativity returns the Pauling electronegativity of the element.
+func (e Element) Electronegativity() float64 { return electronegativity[e] }
+
 // NumOrbitals returns the number of valence basis functions on the element.
 func (e Element) NumOrbitals() int { return elements[e].nOrbitals }
 

@@ -20,8 +20,12 @@ import (
 // Config bundles the pipeline settings.
 type Config struct {
 	Fragment fragment.Options
-	Sched    sched.Options
-	Raman    raman.Options
+	// Partitioner overrides the fragmentation engine. nil selects the QF
+	// engine configured by Fragment; set a fragment.GraphPartitioner for
+	// the general graph engine (see FRAGMENTATION.md).
+	Partitioner fragment.Partitioner
+	Sched       sched.Options
+	Raman       raman.Options
 	// UseDense replaces the Lanczos solver with exact dense
 	// diagonalization — only feasible for small systems; used by the
 	// validation ladder.
@@ -54,9 +58,13 @@ type Result struct {
 
 // ComputeRaman runs the QF-RAMAN pipeline on a molecular system.
 func ComputeRaman(sys *structure.System, cfg Config) (*Result, error) {
+	part := cfg.Partitioner
+	if part == nil {
+		part = fragment.QFPartitioner{Opt: cfg.Fragment}
+	}
 	sc := cfg.Sched.Obs
 	_, dspan := sc.Begin("decompose", "core", obs.A("atoms", int64(sys.NumAtoms())))
-	dec, err := fragment.Decompose(sys, cfg.Fragment)
+	dec, err := part.Partition(sys)
 	dspan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: decompose: %w", err)

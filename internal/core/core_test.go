@@ -50,7 +50,10 @@ func TestComputeRamanWaterDimers(t *testing.T) {
 
 func TestQFMatchesDirectSmallPeptide(t *testing.T) {
 	// End-to-end validation: the fragmented spectrum of a small peptide
-	// must closely match the direct (unfragmented) spectrum.
+	// must closely match the direct (unfragmented) spectrum — for both
+	// partitioners. The graph engine's pipelines ride along here to reuse
+	// the direct reference (measured: QF 0.999, graph 0.933 vs direct,
+	// QF vs graph 0.931 — see EXPERIMENTS.md).
 	if testing.Short() {
 		t.Skip("direct comparison is expensive")
 	}
@@ -86,6 +89,29 @@ func TestQFMatchesDirectSmallPeptide(t *testing.T) {
 	sim := raman.CosineSimilarity(resQF.Spectrum, resDirect.Spectrum)
 	if sim < 0.85 {
 		t.Fatalf("QF vs direct spectrum cosine similarity %v", sim)
+	}
+
+	// Graph engine on the same straight chain: cutting mid-residue bonds
+	// it chose itself, it must still track both the direct reference and
+	// the QF spectrum.
+	gOpt := fragment.DefaultGraphOptions()
+	gOpt.TargetAtoms = 16
+	cfg.Partitioner = fragment.GraphPartitioner{Opt: gOpt}
+	resG, err := ComputeRaman(sys4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := resG.Decomposition.Stats; st.NumParts < 2 || st.NumCutBonds == 0 {
+		t.Fatalf("graph path did not really fragment: %+v", st)
+	}
+	simGD := raman.CosineSimilarity(resG.Spectrum, resDirect.Spectrum)
+	simGQ := raman.CosineSimilarity(resG.Spectrum, resQF.Spectrum)
+	t.Logf("graph vs direct %v, graph vs QF %v", simGD, simGQ)
+	if simGD < 0.85 {
+		t.Fatalf("graph vs direct spectrum cosine similarity %v < 0.85 (EXPERIMENTS.md)", simGD)
+	}
+	if simGQ < 0.85 {
+		t.Fatalf("graph vs QF spectrum cosine similarity %v < 0.85 (EXPERIMENTS.md)", simGQ)
 	}
 }
 

@@ -1,0 +1,232 @@
+package fragment
+
+import (
+	"sort"
+
+	"qframan/internal/constants"
+	"qframan/internal/geom"
+	"qframan/internal/structure"
+)
+
+// BondClass is the perceived character of a covalent bond, inferred from the
+// bond length relative to tabulated reference lengths (FRAGMENTATION.md §2).
+type BondClass uint8
+
+const (
+	// BondSingle is an ordinary σ bond.
+	BondSingle BondClass = iota + 1
+	// BondPartial is a conjugated single bond with partial double character
+	// (the amide/peptide C–N): severable — the QF baseline severs exactly
+	// these — but at an elevated cut cost.
+	BondPartial
+	// BondMultiple is a double, triple, or aromatic-length bond. Never
+	// severed.
+	BondMultiple
+)
+
+// String returns a short label for the class.
+func (c BondClass) String() string {
+	switch c {
+	case BondSingle:
+		return "single"
+	case BondPartial:
+		return "partial"
+	case BondMultiple:
+		return "multiple"
+	}
+	return "unknown"
+}
+
+// BondEdge is one perceived covalent bond of a BondGraph.
+type BondEdge struct {
+	I, J  int // atom indices, I < J
+	Class BondClass
+	// Ring marks bonds lying on a cycle (non-bridges of the molecule
+	// graph). Severing a ring bond does not disconnect anything and leaves
+	// an open ring with two caps, so ring bonds are never severed.
+	Ring bool
+	// Severable reports whether the partitioner may cut this bond: a
+	// non-ring, non-multiple bond between two heavy atoms.
+	Severable bool
+	// Cost is the severance penalty (dimensionless, ≥ 1 for severable
+	// bonds): the balanced min-cut prefers cutting the cheapest bonds.
+	Cost float64
+}
+
+// BondGraph is the perceived covalent topology of a system: atoms as nodes,
+// classified bonds as edges, with per-atom adjacency.
+type BondGraph struct {
+	NumAtoms int
+	Edges    []BondEdge
+	adj      [][]int32 // atom → indices into Edges, ascending
+}
+
+// Adjacent returns the indices (into Edges) of the bonds incident on atom a.
+func (g *BondGraph) Adjacent(a int) []int32 { return g.adj[a] }
+
+// multipleBondThreshold returns the bond length (Å) at or below which a bond
+// between the two elements is classified as multiple (double/triple/aromatic
+// length regime). Pairs without an entry are always single.
+func multipleBondThreshold(a, b constants.Element) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	switch {
+	case a == constants.C && b == constants.C:
+		// C=C 1.34 Å, aromatic ~1.39 Å, single 1.52–1.54 Å.
+		return 1.42
+	case a == constants.C && b == constants.O:
+		// Carbonyl C=O 1.23 Å, ester/ether single 1.41–1.43 Å.
+		return 1.32
+	case a == constants.C && b == constants.N:
+		// Imine C=N 1.28 Å is multiple; the amide/peptide C–N
+		// (1.30–1.35 Å) must stay below this threshold's reach — it is
+		// classified BondPartial instead (see amideThreshold).
+		return 1.25
+	case a == constants.N && b == constants.N:
+		return 1.30
+	case a == constants.N && b == constants.O:
+		return 1.30
+	case a == constants.C && b == constants.S:
+		// Thiocarbonyl C=S 1.60 Å, single 1.81 Å.
+		return 1.67
+	}
+	return 0
+}
+
+// amideThreshold is the C–N length (Å) below which a single C–N bond is
+// treated as conjugated (amide/peptide character): severable, higher cost.
+const amideThreshold = 1.38
+
+// bondCost scores the penalty for severing a bond (lower = better cut):
+// 1 for an apolar C–C σ bond, plus the Pauling electronegativity difference
+// (severing polar bonds perturbs the fragment charge distribution more),
+// plus a conjugation penalty for partial-double bonds.
+func bondCost(a, b constants.Element, class BondClass) float64 {
+	cost := 1.0
+	dEN := a.Electronegativity() - b.Electronegativity()
+	if dEN < 0 {
+		dEN = -dEN
+	}
+	cost += dEN
+	if class == BondPartial {
+		cost += 1.0
+	}
+	return cost
+}
+
+// BuildBondGraph perceives the covalent topology of an explicit atom set:
+// bonds from covalent radii (the same cell-list criterion as
+// structure.SubsetBonds), bond class from length thresholds, ring membership
+// from bridge detection, and severance costs. The edge list is sorted by
+// (I, J), so the graph is a pure deterministic function of the geometry.
+func BuildBondGraph(els []constants.Element, pos []geom.Vec3) *BondGraph {
+	g := &BondGraph{NumAtoms: len(els)}
+	for _, b := range structure.SubsetBonds(els, pos) {
+		i, j := b[0], b[1]
+		d := pos[i].Dist(pos[j])
+		ei, ej := els[i], els[j]
+		class := BondSingle
+		if th := multipleBondThreshold(ei, ej); th > 0 && d <= th {
+			class = BondMultiple
+		} else if lo, hi := ei, ej; (lo == constants.C && hi == constants.N || lo == constants.N && hi == constants.C) && d <= amideThreshold {
+			class = BondPartial
+		}
+		g.Edges = append(g.Edges, BondEdge{I: i, J: j, Class: class})
+	}
+	sort.Slice(g.Edges, func(a, b int) bool {
+		if g.Edges[a].I != g.Edges[b].I {
+			return g.Edges[a].I < g.Edges[b].I
+		}
+		return g.Edges[a].J < g.Edges[b].J
+	})
+
+	g.adj = make([][]int32, len(els))
+	for e := range g.Edges {
+		g.adj[g.Edges[e].I] = append(g.adj[g.Edges[e].I], int32(e))
+		g.adj[g.Edges[e].J] = append(g.adj[g.Edges[e].J], int32(e))
+	}
+
+	g.markBridges()
+	for e := range g.Edges {
+		ed := &g.Edges[e]
+		ed.Severable = ed.Class != BondMultiple && !ed.Ring &&
+			els[ed.I] != constants.H && els[ed.J] != constants.H
+		if ed.Severable {
+			ed.Cost = bondCost(els[ed.I], els[ed.J], ed.Class)
+		}
+	}
+	return g
+}
+
+// markBridges sets Ring on every edge that is NOT a bridge, using an
+// iterative Tarjan lowpoint DFS (no recursion: systems can be large).
+func (g *BondGraph) markBridges() {
+	const unvisited = -1
+	disc := make([]int32, g.NumAtoms)
+	low := make([]int32, g.NumAtoms)
+	parentEdge := make([]int32, g.NumAtoms)
+	for i := range disc {
+		disc[i] = unvisited
+		parentEdge[i] = -1
+	}
+	type frame struct {
+		atom int32
+		next int32 // next index into adj[atom] to examine
+	}
+	var stack []frame
+	var timer int32
+	for root := 0; root < g.NumAtoms; root++ {
+		if disc[root] != unvisited {
+			continue
+		}
+		disc[root], low[root] = timer, timer
+		timer++
+		stack = append(stack[:0], frame{atom: int32(root)})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			a := f.atom
+			if int(f.next) < len(g.adj[a]) {
+				ei := g.adj[a][f.next]
+				f.next++
+				if ei == parentEdge[a] {
+					continue
+				}
+				e := &g.Edges[ei]
+				b := int32(e.I)
+				if b == a {
+					b = int32(e.J)
+				}
+				if disc[b] == unvisited {
+					disc[b], low[b] = timer, timer
+					timer++
+					parentEdge[b] = ei
+					stack = append(stack, frame{atom: b})
+				} else if disc[b] < low[a] {
+					// Back edge: part of a cycle.
+					e.Ring = true
+					low[a] = disc[b]
+				} else if disc[b] < disc[a] {
+					e.Ring = true
+				}
+			} else {
+				stack = stack[:len(stack)-1]
+				if pe := parentEdge[a]; pe >= 0 {
+					e := &g.Edges[pe]
+					p := int32(e.I)
+					if p == a {
+						p = int32(e.J)
+					}
+					if low[a] < low[p] {
+						low[p] = low[a]
+					}
+					if low[a] <= disc[p] {
+						// The subtree under a reaches back to p or
+						// above: the tree edge (p, a) is on a cycle.
+						e.Ring = true
+					}
+				}
+			}
+		}
+	}
+}

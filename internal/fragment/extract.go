@@ -23,6 +23,19 @@ func capBondLength(el constants.Element) float64 {
 	return 1.0
 }
 
+// appendCap terminates a severed bond with a hydrogen cap: keep is the
+// retained atom, removed the lost bond partner. The cap sits along the
+// original bond direction at the element-specific cap length, and its
+// GlobalIdx is −1 so assembly drops its (cancelling) contributions. Both the
+// QF extractor (peptide C–N cuts) and the graph partitioner (any severed
+// single bond) emit caps through this helper.
+func (f *Fragment) appendCap(keep, removed structure.Atom) {
+	dir := removed.Pos.Sub(keep.Pos).Normalize()
+	f.Els = append(f.Els, constants.H)
+	f.Pos = append(f.Pos, keep.Pos.Add(dir.Scale(capBondLength(keep.El))))
+	f.GlobalIdx = append(f.GlobalIdx, -1)
+}
+
 // extractor pulls fragments out of a parent system.
 type extractor struct {
 	sys *structure.System
@@ -72,12 +85,7 @@ func (ex *extractor) extract(kind Kind, coeff float64, residues, waters []int) F
 	// N), and on the right when r+1 exists in the same chain but is
 	// excluded (cap the C).
 	addCap := func(keepIdx, removedIdx int) {
-		keep := sys.Atoms[keepIdx]
-		removed := sys.Atoms[removedIdx]
-		dir := removed.Pos.Sub(keep.Pos).Normalize()
-		f.Els = append(f.Els, constants.H)
-		f.Pos = append(f.Pos, keep.Pos.Add(dir.Scale(capBondLength(keep.El))))
-		f.GlobalIdx = append(f.GlobalIdx, -1)
+		f.appendCap(sys.Atoms[keepIdx], sys.Atoms[removedIdx])
 	}
 	sameChain := func(a, b int) bool {
 		return sys.Residues[a].Chain == sys.Residues[b].Chain

@@ -43,6 +43,19 @@ const (
 	KindPairWW
 	// KindMonoWW is a subtracted water monomer of a water–water pair.
 	KindMonoWW
+	// KindPart is a connected part of the graph partitioner's
+	// severable-bond forest (+1; the graph analogue of KindResidue).
+	KindPart
+	// KindPairBond is a dimer of two parts joined by a severed bond (+1) —
+	// the graph generalization of the conjugate-cap correction.
+	KindPairBond
+	// KindMonoBond is a subtracted monomer of a bonded part dimer (−1).
+	KindMonoBond
+	// KindPairSpace is a spatial λ-sphere dimer of two parts (+1) — the
+	// graph generalization of the QF generalized concap.
+	KindPairSpace
+	// KindMonoSpace is a subtracted monomer of a spatial part dimer (−1).
+	KindMonoSpace
 	numKinds
 )
 
@@ -67,6 +80,16 @@ func (k Kind) String() string {
 		return "pair-ww"
 	case KindMonoWW:
 		return "mono-ww"
+	case KindPart:
+		return "part"
+	case KindPairBond:
+		return "pair-bond"
+	case KindMonoBond:
+		return "mono-bond"
+	case KindPairSpace:
+		return "pair-space"
+	case KindMonoSpace:
+		return "mono-space"
 	}
 	return "unknown"
 }
@@ -119,14 +142,24 @@ func DefaultOptions() Options {
 // reports in §VI-A (fragment counts, concaps, generalized concaps, pair
 // counts, size range).
 type Stats struct {
+	// Partitioner is the engine that produced the decomposition
+	// ("qf" or "graph").
+	Partitioner         string
 	NumResidueFragments int
 	NumConcaps          int
 	NumWaterFragments   int
 	NumRRPairs          int // generalized concaps
 	NumRWPairs          int
 	NumWWPairs          int
-	MinAtoms, MaxAtoms  int
-	TotalFragments      int
+	// Graph-partitioner counters (zero for QF decompositions).
+	NumParts        int // +1 parts of the severable-bond forest
+	NumCutBonds     int // severed bonds (each capped on both sides)
+	NumBondedPairs  int // dimer corrections across severed bonds
+	NumSpatialPairs int // λ-sphere part dimers
+	// MinAtoms/MaxAtoms bound the sizes over all emitted fragments
+	// (dimers included).
+	MinAtoms, MaxAtoms int
+	TotalFragments     int
 	// SizeHistogram[n] counts fragments with n atoms.
 	SizeHistogram map[int]int
 }
@@ -137,15 +170,21 @@ type Decomposition struct {
 	Stats     Stats
 }
 
-// Decompose runs the QF algorithm on a system.
+// Decompose runs the QF algorithm on a system. Systems containing generic
+// molecules are rejected: the QF chemistry rules know only peptide chains
+// and water, so such systems need the graph partitioner (FRAGMENTATION.md).
 func Decompose(sys *structure.System, opt Options) (*Decomposition, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
+	}
+	if n := len(sys.Molecules); n > 0 {
+		return nil, fmt.Errorf("fragment: the QF partitioner cannot fragment %d generic molecule(s); use the graph partitioner (-partitioner graph)", n)
 	}
 	if opt.MinSeqSeparation < 2 {
 		return nil, fmt.Errorf("fragment: MinSeqSeparation must be ≥ 2 (neighbors are covered by caps)")
 	}
 	d := &Decomposition{}
+	d.Stats.Partitioner = "qf"
 	ex := newExtractor(sys)
 
 	// 1. Capped residue fragments and concaps, independently per protein

@@ -1,0 +1,459 @@
+package fragment
+
+import (
+	"fmt"
+	"sort"
+
+	"qframan/internal/constants"
+	"qframan/internal/geom"
+	"qframan/internal/structure"
+)
+
+// GraphOptions configures the graph partitioner. The zero value is
+// normalized to the documented defaults by Partition.
+type GraphOptions struct {
+	// TargetAtoms is the soft fragment-size target: the agglomeration
+	// stops growing a part once merging would push it past this many
+	// atoms. Larger targets mean fewer, bigger, more accurate, more
+	// expensive fragments (≤ 0 → 24).
+	TargetAtoms int
+	// MaxAtoms is the hard size cap used by the tiny-part cleanup pass
+	// (≤ 0 → 2·TargetAtoms). A part can exceed it in exactly two cases:
+	// a single unseverable group (a ring system with its substituents)
+	// larger than the cap, and the electron-parity repair pass pairing two
+	// odd-electron parts (bounded by 2·MaxAtoms).
+	MaxAtoms int
+	// MinAtoms is the tiny-part threshold: parts smaller than this are
+	// merged into a bonded neighbor when that stays within MaxAtoms
+	// (≤ 0 → TargetAtoms/4, at least 4).
+	MinAtoms int
+	// Lambda is the spatial two-body threshold in Å: two parts whose
+	// minimal atom–atom distance is within Lambda get a dimer − monomers
+	// correction, the graph generalization of the QF generalized concap.
+	// 0 disables spatial pairs; < 0 → the paper's 4 Å.
+	Lambda float64
+	// BondedPairs emits a dimer − monomers correction across every
+	// severed bond — the graph generalization of the conjugate-cap
+	// subtraction. Strongly recommended (the cross-validation tolerance
+	// in FRAGMENTATION.md is measured with it on).
+	BondedPairs bool
+}
+
+// DefaultGraphOptions returns the documented defaults: 24-atom target,
+// 48-atom cap, λ = 4 Å, bonded dimer corrections on.
+func DefaultGraphOptions() GraphOptions {
+	return GraphOptions{TargetAtoms: 24, Lambda: 4, BondedPairs: true}
+}
+
+// normalize fills derived defaults.
+func (o GraphOptions) normalize() GraphOptions {
+	if o.TargetAtoms <= 0 {
+		o.TargetAtoms = 24
+	}
+	if o.MaxAtoms <= 0 {
+		o.MaxAtoms = 2 * o.TargetAtoms
+	}
+	if o.MinAtoms <= 0 {
+		o.MinAtoms = o.TargetAtoms / 4
+		if o.MinAtoms < 4 {
+			o.MinAtoms = 4
+		}
+	}
+	if o.Lambda < 0 {
+		o.Lambda = 4
+	}
+	return o
+}
+
+// GraphPartitioner is the general fragmentation engine: it infers a bond
+// graph from geometry and covalent radii, contracts every unseverable bond
+// (multiple bonds, ring bonds, bonds to hydrogen) into rigid groups,
+// partitions the resulting severable-bond forest with a deterministic
+// quality-aware balanced min-cut, caps every severed bond with hydrogen, and
+// emits two-body corrections. See FRAGMENTATION.md for the full model and
+// the determinism contract.
+type GraphPartitioner struct {
+	Opt GraphOptions
+}
+
+// Name implements Partitioner.
+func (GraphPartitioner) Name() string { return "graph" }
+
+// unionFind is a deterministic union–find over atom indices with union by
+// smaller root index, so every set's representative is its minimum member —
+// stable tie-breaking needs no extra bookkeeping.
+type unionFind struct {
+	parent []int32
+}
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int32, n)}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+func (u *unionFind) find(a int32) int32 {
+	for u.parent[a] != a {
+		u.parent[a] = u.parent[u.parent[a]] // path halving
+		a = u.parent[a]
+	}
+	return a
+}
+
+// union merges the sets of a and b; the smaller root index wins.
+func (u *unionFind) union(a, b int32) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+}
+
+// Partition implements Partitioner.
+func (p GraphPartitioner) Partition(sys *structure.System) (*Decomposition, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	n := sys.NumAtoms()
+	if n == 0 {
+		return nil, fmt.Errorf("fragment: graph partitioner: empty system")
+	}
+	opt := p.Opt.normalize()
+
+	els := make([]constants.Element, n)
+	pos := make([]geom.Vec3, n)
+	for i, a := range sys.Atoms {
+		els[i] = a.El
+		pos[i] = a.Pos
+	}
+	g := BuildBondGraph(els, pos)
+
+	// 1. Contract every unseverable bond: the resulting sets ("groups")
+	// are the rigid units the min-cut may arrange but never split.
+	uf := newUnionFind(n)
+	for _, e := range g.Edges {
+		if !e.Severable {
+			uf.union(int32(e.I), int32(e.J))
+		}
+	}
+
+	// Severable edges connect distinct groups, and because every severable
+	// edge is a bridge of its molecule the group graph is a forest — two
+	// groups can never be joined by two different severable bonds.
+	size := make([]int32, n) // per-root atom count
+	for i := 0; i < n; i++ {
+		size[uf.find(int32(i))]++
+	}
+	sev := make([]int32, 0, len(g.Edges))
+	for e := range g.Edges {
+		if g.Edges[e].Severable {
+			sev = append(sev, int32(e))
+		}
+	}
+	// Quality order: most expensive bonds first, so agglomeration keeps
+	// them inside parts and the eventual cut set is made of the cheapest
+	// bonds. Ties break on ascending atom indices — the edge list itself
+	// is (I, J)-sorted, so the order is a pure function of the geometry.
+	sort.SliceStable(sev, func(a, b int) bool {
+		ea, eb := &g.Edges[sev[a]], &g.Edges[sev[b]]
+		if ea.Cost != eb.Cost {
+			return ea.Cost > eb.Cost
+		}
+		if ea.I != eb.I {
+			return ea.I < eb.I
+		}
+		return ea.J < eb.J
+	})
+
+	// 2. Balanced agglomeration (Kruskal with a size cap): grow parts
+	// across the priciest severable bonds while the merge stays within
+	// TargetAtoms.
+	for _, ei := range sev {
+		e := &g.Edges[ei]
+		ra, rb := uf.find(int32(e.I)), uf.find(int32(e.J))
+		if ra == rb {
+			continue
+		}
+		if size[ra]+size[rb] <= int32(opt.TargetAtoms) {
+			uf.union(ra, rb)
+			r := uf.find(ra)
+			size[r] = size[ra] + size[rb]
+		}
+	}
+	// 3. Tiny-part cleanup: a leftover part below MinAtoms (a terminal
+	// hydroxyl, a lone methyl) merges into a bonded neighbor as long as
+	// the result respects the MaxAtoms hard cap. Repeat to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, ei := range sev {
+			e := &g.Edges[ei]
+			ra, rb := uf.find(int32(e.I)), uf.find(int32(e.J))
+			if ra == rb {
+				continue
+			}
+			small := size[ra]
+			if size[rb] < small {
+				small = size[rb]
+			}
+			if small < int32(opt.MinAtoms) && size[ra]+size[rb] <= int32(opt.MaxAtoms) {
+				total := size[ra] + size[rb]
+				uf.union(ra, rb)
+				size[uf.find(ra)] = total
+				changed = true
+			}
+		}
+	}
+
+	// 3b. Electron-parity repair: the SCF engine is closed-shell, so every
+	// part must carry an even valence-electron count (atoms plus one
+	// electron per boundary cap). Odd parts appear when cuts land next to
+	// atoms with non-standard valences, and they always come in pairs
+	// within a molecule (the total is even), so merging them across cut
+	// bonds — preferring direct odd–odd merges — always converges to
+	// all-even parts. The pass is deterministic: edges are scanned in their
+	// (I, J) order and the lowest odd root moves first.
+	valPar := make([]uint8, n)
+	for i := range els {
+		valPar[i] = uint8(els[i].NumValence() & 1)
+	}
+	par := make([]uint8, n) // per-root electron parity
+	for {
+		for i := range par {
+			par[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			par[uf.find(int32(i))] ^= valPar[i]
+		}
+		for _, ei := range sev {
+			e := &g.Edges[ei]
+			ra, rb := uf.find(int32(e.I)), uf.find(int32(e.J))
+			if ra != rb {
+				par[ra] ^= 1
+				par[rb] ^= 1
+			}
+		}
+		var odd []int32 // odd roots, ascending
+		for i := 0; i < n; i++ {
+			if int(uf.find(int32(i))) == i && par[i] == 1 {
+				odd = append(odd, int32(i))
+			}
+		}
+		if len(odd) == 0 {
+			break
+		}
+		merged := false
+		for _, ei := range sev { // direct odd–odd merges first
+			e := &g.Edges[ei]
+			ra, rb := uf.find(int32(e.I)), uf.find(int32(e.J))
+			if ra != rb && par[ra] == 1 && par[rb] == 1 {
+				total := size[ra] + size[rb]
+				uf.union(ra, rb)
+				size[uf.find(ra)] = total
+				par[uf.find(ra)] = 0
+				merged = true
+			}
+		}
+		if merged {
+			continue
+		}
+		// No adjacent odd pair left: pair the remaining odd parts in
+		// ascending root order into single (possibly disconnected)
+		// fragments — the same thing the QF engine does implicitly when a
+		// synthetic fold geometry breaks the perceived chain. A lone odd
+		// part means the whole system is open-shell, which nothing
+		// downstream supports.
+		if len(odd) == 1 {
+			return nil, fmt.Errorf("fragment: graph partitioner: the system has an odd total valence-electron count (open shells unsupported)")
+		}
+		for i := 0; i+1 < len(odd); i += 2 {
+			total := size[uf.find(odd[i])] + size[uf.find(odd[i+1])]
+			uf.union(odd[i], odd[i+1])
+			size[uf.find(odd[i])] = total
+		}
+	}
+
+	// 4. Materialize parts ordered by their minimum atom index (which is
+	// exactly the union–find root).
+	partOf := make([]int32, n)
+	var roots []int32
+	for i := 0; i < n; i++ {
+		r := uf.find(int32(i))
+		if int(r) == i {
+			roots = append(roots, r)
+		}
+	}
+	for i := 0; i < n; i++ {
+		partOf[i] = uf.find(int32(i))
+	}
+	partIdx := make(map[int32]int32, len(roots))
+	for i, r := range roots {
+		partIdx[r] = int32(i)
+	}
+	parts := make([][]int, len(roots))
+	for i := 0; i < n; i++ {
+		pi := partIdx[partOf[i]]
+		parts[pi] = append(parts[pi], i)
+		partOf[i] = pi
+	}
+
+	// 5. The cut set: severable bonds whose endpoints landed in different
+	// parts. Edges iterate in (I, J) order, so cuts are deterministic.
+	var cuts []int32
+	for _, ei := range sev {
+		e := &g.Edges[ei]
+		if partOf[e.I] != partOf[e.J] {
+			cuts = append(cuts, ei)
+		}
+	}
+	sort.Slice(cuts, func(a, b int) bool {
+		ea, eb := &g.Edges[cuts[a]], &g.Edges[cuts[b]]
+		if ea.I != eb.I {
+			return ea.I < eb.I
+		}
+		return ea.J < eb.J
+	})
+
+	d := &Decomposition{}
+	d.Stats.Partitioner = "graph"
+	d.Stats.NumParts = len(parts)
+	d.Stats.NumCutBonds = len(cuts)
+	ex := newGraphExtractor(sys, g)
+
+	// 6. One +1 fragment per part, every severed boundary bond capped.
+	for _, atoms := range parts {
+		d.add(ex.extract(KindPart, +1, atoms))
+	}
+
+	// 7. Bonded dimer corrections: for each severed bond, add the joined
+	// dimer and subtract both monomers. Atom-wise the monomers cancel the
+	// dimer, so the exactly-once coverage invariant is preserved while the
+	// interaction across the cut is restored at two-body level.
+	if opt.BondedPairs {
+		for _, ei := range cuts {
+			e := &g.Edges[ei]
+			pa, pb := partOf[e.I], partOf[e.J]
+			if pa > pb {
+				pa, pb = pb, pa
+			}
+			d.add(ex.extract(KindPairBond, +1, mergedAtoms(parts[pa], parts[pb])))
+			d.add(ex.extract(KindMonoBond, -1, parts[pa]))
+			d.add(ex.extract(KindMonoBond, -1, parts[pb]))
+			d.Stats.NumBondedPairs++
+		}
+	}
+
+	// 8. Spatial dimer corrections: part pairs within λ that are not
+	// already covalently adjacent.
+	if opt.Lambda > 0 {
+		adjacent := make(map[[2]int32]bool, len(cuts))
+		for _, ei := range cuts {
+			e := &g.Edges[ei]
+			pa, pb := partOf[e.I], partOf[e.J]
+			if pa > pb {
+				pa, pb = pb, pa
+			}
+			adjacent[[2]int32{pa, pb}] = true
+		}
+		seen := make(map[[2]int32]bool)
+		var pairs [][2]int32
+		cl := geom.NewCellList(pos, opt.Lambda)
+		cl.ForEachPair(func(i, j int, d2 float64) {
+			pa, pb := partOf[i], partOf[j]
+			if pa == pb {
+				return
+			}
+			if pa > pb {
+				pa, pb = pb, pa
+			}
+			key := [2]int32{pa, pb}
+			if adjacent[key] || seen[key] {
+				return
+			}
+			seen[key] = true
+			pairs = append(pairs, key)
+		})
+		sort.Slice(pairs, func(a, b int) bool {
+			if pairs[a][0] != pairs[b][0] {
+				return pairs[a][0] < pairs[b][0]
+			}
+			return pairs[a][1] < pairs[b][1]
+		})
+		for _, pr := range pairs {
+			d.add(ex.extract(KindPairSpace, +1, mergedAtoms(parts[pr[0]], parts[pr[1]])))
+			d.add(ex.extract(KindMonoSpace, -1, parts[pr[0]]))
+			d.add(ex.extract(KindMonoSpace, -1, parts[pr[1]]))
+			d.Stats.NumSpatialPairs++
+		}
+	}
+
+	d.finishStats()
+	return d, nil
+}
+
+// mergedAtoms merges two ascending atom-index lists into one ascending list.
+func mergedAtoms(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// graphExtractor builds fragments from explicit atom sets, capping every
+// bond that crosses the set boundary — the generalization of the QF
+// extractor's peptide-specific capping to arbitrary severed bonds.
+type graphExtractor struct {
+	sys   *structure.System
+	g     *BondGraph
+	inSet []bool // scratch membership mask, cleared after each extract
+}
+
+func newGraphExtractor(sys *structure.System, g *BondGraph) *graphExtractor {
+	return &graphExtractor{sys: sys, g: g, inSet: make([]bool, sys.NumAtoms())}
+}
+
+// extract builds a fragment from the ascending atom-index list. Cap
+// hydrogens come last, ordered by (retained atom, lost atom) index.
+func (ex *graphExtractor) extract(kind Kind, coeff float64, atoms []int) Fragment {
+	f := Fragment{Kind: kind, Coeff: coeff}
+	f.Els = make([]constants.Element, 0, len(atoms)+2)
+	f.Pos = make([]geom.Vec3, 0, len(atoms)+2)
+	f.GlobalIdx = make([]int, 0, len(atoms)+2)
+	for _, a := range atoms {
+		ex.inSet[a] = true
+		at := ex.sys.Atoms[a]
+		f.Els = append(f.Els, at.El)
+		f.Pos = append(f.Pos, at.Pos)
+		f.GlobalIdx = append(f.GlobalIdx, a)
+	}
+	f.NumReal = len(f.Els)
+	for _, a := range atoms {
+		for _, ei := range ex.g.Adjacent(a) {
+			e := &ex.g.Edges[ei]
+			other := e.I
+			if other == a {
+				other = e.J
+			}
+			if !ex.inSet[other] {
+				f.appendCap(ex.sys.Atoms[a], ex.sys.Atoms[other])
+			}
+		}
+	}
+	for _, a := range atoms {
+		ex.inSet[a] = false
+	}
+	return f
+}

@@ -1,0 +1,329 @@
+package fragment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"qframan/internal/constants"
+	"qframan/internal/geom"
+	"qframan/internal/structure"
+)
+
+func graphPartition(t *testing.T, sys *structure.System, opt GraphOptions) *Decomposition {
+	t.Helper()
+	d, err := GraphPartitioner{Opt: opt}.Partition(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// encodeDecomposition serializes every field that feeds downstream physics,
+// so two decompositions compare byte-identically.
+func encodeDecomposition(d *Decomposition) string {
+	out := fmt.Sprintf("stats=%+v\n", d.Stats)
+	for i := range d.Fragments {
+		f := &d.Fragments[i]
+		out += fmt.Sprintf("frag %d kind=%s coeff=%v real=%d\n", f.ID, f.Kind, f.Coeff, f.NumReal)
+		for a := range f.Els {
+			out += fmt.Sprintf("  %d %d %.17g %.17g %.17g\n",
+				f.Els[a], f.GlobalIdx[a], f.Pos[a].X, f.Pos[a].Y, f.Pos[a].Z)
+		}
+	}
+	return out
+}
+
+func TestGraphDeterminism(t *testing.T) {
+	// The determinism contract (FRAGMENTATION.md §6): byte-identical
+	// decompositions on every run, at every GOMAXPROCS.
+	seq := structure.RandomSequence(20, 5)
+	prot, err := structure.BuildProteinFolded(seq, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	melt := structure.BuildPolymerMelt(3, 5, 9)
+	for name, sys := range map[string]*structure.System{"protein": prot, "melt": melt} {
+		ref := encodeDecomposition(graphPartition(t, sys, DefaultGraphOptions()))
+		for run := 0; run < 3; run++ {
+			prev := runtime.GOMAXPROCS(1 + run)
+			got := encodeDecomposition(graphPartition(t, sys, DefaultGraphOptions()))
+			runtime.GOMAXPROCS(prev)
+			if got != ref {
+				t.Fatalf("%s: run %d produced a different decomposition", name, run)
+			}
+		}
+	}
+}
+
+func TestGraphCoverageInvariant(t *testing.T) {
+	seq := structure.RandomSequence(25, 3)
+	prot, err := structure.BuildProteinFolded(seq, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solv := structure.SolvateInWater(prot, 4.0, 2.4)
+	melt := structure.BuildPolymerMelt(4, 6, 2)
+	for name, sys := range map[string]*structure.System{
+		"protein": prot, "solvated": solv, "melt": melt,
+	} {
+		d := graphPartition(t, sys, DefaultGraphOptions())
+		for i, c := range coverage(d, sys.NumAtoms()) {
+			if math.Abs(c-1) > 1e-12 {
+				t.Fatalf("%s: atom %d covered with net coefficient %v, want 1", name, i, c)
+			}
+		}
+	}
+}
+
+func TestGraphFragmentsAreClosedShell(t *testing.T) {
+	// The SCF engine rejects odd electron counts, so every emitted
+	// fragment — caps included — must carry an even valence-electron sum
+	// (the parity-repair pass guarantees it for parts; dimers and monomers
+	// inherit it).
+	seq := structure.RandomSequence(40, 13)
+	prot, err := structure.BuildProteinFolded(seq, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	melt := structure.BuildPolymerMelt(3, 4, 6)
+	for name, sys := range map[string]*structure.System{"protein": prot, "melt": melt} {
+		d := graphPartition(t, sys, DefaultGraphOptions())
+		for i := range d.Fragments {
+			f := &d.Fragments[i]
+			n := 0
+			for _, el := range f.Els {
+				n += el.NumValence()
+			}
+			if n%2 != 0 {
+				t.Fatalf("%s: fragment %d (%s) has odd electron count %d", name, f.ID, f.Kind, n)
+			}
+		}
+	}
+}
+
+func TestGraphNeverSeversForbiddenBonds(t *testing.T) {
+	// Every severed bond must be a severable single bond: reconstruct the
+	// cut set as bonds whose endpoints sit in different KindPart fragments
+	// and check it against the bond graph.
+	seq := structure.RandomSequence(30, 7)
+	sys, err := structure.BuildProteinFolded(seq, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := graphPartition(t, sys, DefaultGraphOptions())
+	partOf := make([]int, sys.NumAtoms())
+	for i := range partOf {
+		partOf[i] = -1
+	}
+	for i := range d.Fragments {
+		f := &d.Fragments[i]
+		if f.Kind != KindPart {
+			continue
+		}
+		for _, g := range f.GlobalIdx {
+			if g >= 0 {
+				if partOf[g] != -1 {
+					t.Fatalf("atom %d in two parts", g)
+				}
+				partOf[g] = f.ID
+			}
+		}
+	}
+	for i, p := range partOf {
+		if p == -1 {
+			t.Fatalf("atom %d in no part", i)
+		}
+	}
+	g := BuildBondGraph(elsOf(sys), sys.Positions())
+	cuts := 0
+	for _, e := range g.Edges {
+		if partOf[e.I] == partOf[e.J] {
+			continue
+		}
+		cuts++
+		if !e.Severable {
+			t.Fatalf("severed unseverable bond %d–%d (class %s, ring %v)",
+				e.I, e.J, e.Class, e.Ring)
+		}
+	}
+	if cuts != d.Stats.NumCutBonds {
+		t.Fatalf("NumCutBonds=%d, found %d cross-part bonds", d.Stats.NumCutBonds, cuts)
+	}
+}
+
+func TestGraphPartSizeBounds(t *testing.T) {
+	// The agglomeration stops at TargetAtoms; the tiny-part cleanup may
+	// grow a part up to MaxAtoms, and the electron-parity repair may pair
+	// two such parts — so 2·MaxAtoms is the guaranteed bound (the
+	// synthetic protein's small rigid groups rule out the oversized-group
+	// exception here).
+	seq := structure.RandomSequence(40, 13)
+	sys, err := structure.BuildProteinFolded(seq, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultGraphOptions()
+	opt.TargetAtoms = 30
+	opt.MaxAtoms = 45
+	d := graphPartition(t, sys, opt)
+	for i := range d.Fragments {
+		f := &d.Fragments[i]
+		if f.Kind == KindPart && f.NumReal > 2*opt.MaxAtoms {
+			t.Fatalf("part %d has %d real atoms > 2×cap %d", f.ID, f.NumReal, 2*opt.MaxAtoms)
+		}
+	}
+	if d.Stats.NumParts < 2 {
+		t.Fatalf("expected a real partition, got %d parts", d.Stats.NumParts)
+	}
+}
+
+func TestGraphWatersStayWhole(t *testing.T) {
+	// Water has no severable bonds (every bond touches H), so each molecule
+	// must come out as exactly one 3-atom part.
+	sys := structure.BuildWaterBox(3, 3, 3, geom.Vec3{})
+	d := graphPartition(t, sys, DefaultGraphOptions())
+	if d.Stats.NumParts != len(sys.Waters) {
+		t.Fatalf("%d parts for %d waters", d.Stats.NumParts, len(sys.Waters))
+	}
+	if d.Stats.NumCutBonds != 0 {
+		t.Fatalf("severed %d bonds inside water", d.Stats.NumCutBonds)
+	}
+	for i := range d.Fragments {
+		f := &d.Fragments[i]
+		if f.Kind == KindPart && f.NumAtoms() != 3 {
+			t.Fatalf("water part with %d atoms", f.NumAtoms())
+		}
+	}
+	if d.Stats.NumSpatialPairs == 0 {
+		t.Fatal("expected spatial water–water pairs within λ")
+	}
+}
+
+func TestGraphRejectsQFOnlyErrors(t *testing.T) {
+	// The QF engine refuses generic molecules and points at the graph
+	// engine; the graph engine must accept the same system.
+	melt := structure.BuildPolymerMelt(2, 3, 1)
+	if _, err := Decompose(melt, DefaultOptions()); err == nil {
+		t.Fatal("QF accepted a generic-molecule system")
+	}
+	d := graphPartition(t, melt, DefaultGraphOptions())
+	if d.Stats.Partitioner != "graph" || d.Stats.NumParts == 0 {
+		t.Fatalf("graph partition failed on melt: %+v", d.Stats)
+	}
+}
+
+func TestBondGraphClassification(t *testing.T) {
+	// A synthetic peptide: the builder places the C=O carbonyl at 1.23 Å
+	// (multiple, never severed) and the peptide C–N at 1.30 Å (partial:
+	// severable at elevated cost — exactly the bonds QF severs).
+	sys, err := structure.BuildProtein("GAG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildBondGraph(elsOf(sys), sys.Positions())
+	var sawCarbonyl, sawPeptide bool
+	els := elsOf(sys)
+	for _, e := range g.Edges {
+		a, b := els[e.I], els[e.J]
+		if a > b {
+			a, b = b, a
+		}
+		switch {
+		case a == constants.C && b == constants.O && e.Class == BondMultiple:
+			sawCarbonyl = true
+			if e.Severable {
+				t.Fatalf("carbonyl %d–%d marked severable", e.I, e.J)
+			}
+		case a == constants.C && b == constants.N && e.Class == BondPartial:
+			sawPeptide = true
+			if !e.Severable {
+				t.Fatalf("peptide bond %d–%d not severable", e.I, e.J)
+			}
+			if e.Cost <= 1.5 {
+				t.Fatalf("peptide bond cost %v — conjugation penalty missing", e.Cost)
+			}
+		}
+		if (a == constants.H || b == constants.H) && e.Severable {
+			t.Fatalf("bond to hydrogen %d–%d marked severable", e.I, e.J)
+		}
+	}
+	if !sawCarbonyl || !sawPeptide {
+		t.Fatalf("classification missed carbonyl (%v) or peptide (%v) bonds", sawCarbonyl, sawPeptide)
+	}
+}
+
+func TestBondGraphRingDetection(t *testing.T) {
+	// A planar C₆ hexagon at aromatic-ish single-bond spacing (1.50 Å, above
+	// the multiple threshold) with one exocyclic substituent: the six ring
+	// bonds must be marked Ring/unseverable, the exocyclic bond severable.
+	els := make([]constants.Element, 7)
+	pos := make([]geom.Vec3, 7)
+	r := 1.50
+	for i := 0; i < 6; i++ {
+		th := 2 * math.Pi * float64(i) / 6
+		els[i] = constants.C
+		// Hexagon side = circumradius for a regular hexagon.
+		pos[i] = geom.V(r*math.Cos(th), r*math.Sin(th), 0)
+	}
+	els[6] = constants.C
+	pos[6] = geom.V(r+1.53, 0, 0)
+	g := BuildBondGraph(els, pos)
+	ring, exo := 0, 0
+	for _, e := range g.Edges {
+		if e.I == 0 && e.J == 6 {
+			exo++
+			if e.Ring || !e.Severable {
+				t.Fatalf("exocyclic bond misclassified: ring=%v severable=%v", e.Ring, e.Severable)
+			}
+			continue
+		}
+		ring++
+		if !e.Ring || e.Severable {
+			t.Fatalf("ring bond %d–%d misclassified: ring=%v severable=%v", e.I, e.J, e.Ring, e.Severable)
+		}
+	}
+	if ring != 6 || exo != 1 {
+		t.Fatalf("found %d ring + %d exocyclic bonds, want 6 + 1", ring, exo)
+	}
+	// The whole molecule is one rigid group: partitioning must keep it as a
+	// single 7-atom part even with a tiny target.
+	sys := &structure.System{}
+	for i := range els {
+		sys.Atoms = append(sys.Atoms, structure.Atom{El: els[i], Pos: pos[i]})
+	}
+	sys.Molecules = []structure.Residue{{Name: "RNG", First: 0, Count: 7, N: -1, CA: -1, C: -1, O: -1}}
+	opt := DefaultGraphOptions()
+	opt.TargetAtoms = 4
+	d := graphPartition(t, sys, opt)
+	if d.Stats.NumParts != 1 || d.Stats.NumCutBonds != 0 {
+		t.Fatalf("ring split: %d parts, %d cuts", d.Stats.NumParts, d.Stats.NumCutBonds)
+	}
+}
+
+func TestGraphFragSizeKnob(t *testing.T) {
+	// Larger targets → fewer, bigger parts; the accuracy/cost knob must
+	// actually move.
+	seq := structure.RandomSequence(30, 21)
+	sys, err := structure.BuildProteinFolded(seq, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := GraphOptions{TargetAtoms: 12, Lambda: 4, BondedPairs: true}
+	large := GraphOptions{TargetAtoms: 60, Lambda: 4, BondedPairs: true}
+	ds := graphPartition(t, sys, small)
+	dl := graphPartition(t, sys, large)
+	if ds.Stats.NumParts <= dl.Stats.NumParts {
+		t.Fatalf("target 12 → %d parts, target 60 → %d parts: knob has no effect",
+			ds.Stats.NumParts, dl.Stats.NumParts)
+	}
+}
+
+func elsOf(sys *structure.System) []constants.Element {
+	els := make([]constants.Element, len(sys.Atoms))
+	for i, a := range sys.Atoms {
+		els[i] = a.El
+	}
+	return els
+}

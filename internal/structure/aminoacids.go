@@ -66,6 +66,20 @@ var aaByCode = func() map[byte]*aaTemplate {
 	return m
 }()
 
+var aaByName = func() map[string]bool {
+	m := make(map[string]bool, len(aminoAcids))
+	for i := range aminoAcids {
+		m[aminoAcids[i].Name] = true
+	}
+	return m
+}()
+
+// IsAminoAcidName reports whether the three-letter residue name belongs to
+// one of the 20 amino-acid templates. The structure reader uses it to decide
+// whether an input residue is a protein residue (backbone atoms required) or
+// a generic molecule (graph-partitioner territory).
+func IsAminoAcidName(name string) bool { return aaByName[name] }
+
 // AminoAcidCodes returns the 20 one-letter codes in template order.
 func AminoAcidCodes() []byte {
 	out := make([]byte, len(aminoAcids))

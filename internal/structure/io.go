@@ -16,14 +16,15 @@ import (
 //
 //	ATOM <index> <name> <element> <resname> <resid> <chain> <x> <y> <z>
 //
-// with residues appearing in chain order and waters (resname HOH) after the
-// protein. Coordinates are in Å. Lines starting with '#' are comments.
+// with residues appearing in chain order, waters (resname HOH) after the
+// protein, and generic molecules (any other resname, e.g. PEG) last.
+// Coordinates are in Å. Lines starting with '#' are comments.
 
 // WriteText writes the system in the text format.
 func (s *System) WriteText(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "# qframan structure: %d atoms, %d residues, %d waters\n",
-		len(s.Atoms), len(s.Residues), len(s.Waters))
+	fmt.Fprintf(bw, "# qframan structure: %d atoms, %d residues, %d waters, %d molecules\n",
+		len(s.Atoms), len(s.Residues), len(s.Waters), len(s.Molecules))
 	write := func(r Residue, resid int) {
 		for i := r.First; i < r.First+r.Count; i++ {
 			a := s.Atoms[i]
@@ -37,11 +38,17 @@ func (s *System) WriteText(w io.Writer) error {
 	for wi, w2 := range s.Waters {
 		write(w2, len(s.Residues)+wi)
 	}
+	for mi, m := range s.Molecules {
+		write(m, len(s.Residues)+len(s.Waters)+mi)
+	}
 	return bw.Flush()
 }
 
-// ReadSystem parses the text format produced by WriteText. Backbone indices
-// are reconstructed from atom names (N, CA, C, O).
+// ReadSystem parses the text format produced by WriteText. Residues are
+// classified by name: the 20 amino-acid codes become protein residues
+// (backbone indices reconstructed from atom names N, CA, C, O), HOH becomes
+// water, and any other name becomes a generic molecule for the graph
+// partitioner.
 func ReadSystem(r io.Reader) (*System, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -56,10 +63,13 @@ func ReadSystem(r io.Reader) (*System, error) {
 		if curRes == nil {
 			return
 		}
-		if curRes.IsWater() {
+		switch {
+		case curRes.IsWater():
 			sys.Waters = append(sys.Waters, *curRes)
-		} else {
+		case IsAminoAcidName(curRes.Name):
 			sys.Residues = append(sys.Residues, *curRes)
+		default:
+			sys.Molecules = append(sys.Molecules, *curRes)
 		}
 		curRes = nil
 	}

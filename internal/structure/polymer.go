@@ -1,0 +1,129 @@
+package structure
+
+import (
+	"math/rand"
+
+	"qframan/internal/constants"
+	"qframan/internal/geom"
+)
+
+// Polymer geometry: an all-trans zig-zag backbone. Consecutive backbone
+// bonds alternate between the unit directions (a, 0, ±c) with a² = 2/3 and
+// c² = 1/3, which makes every backbone angle exactly tetrahedral (109.47°)
+// for any mix of bond lengths.
+const (
+	zigA = 0.8164965809277260 // sqrt(2/3)
+	zigC = 0.5773502691896258 // sqrt(1/3)
+)
+
+// BuildPolymerMelt builds a melt of PEG-like chains HO–(CH₂–CH₂–O)ₙ–H:
+// `chains` parallel polyether chains of `monomers` repeat units each, laid
+// out on a y–z grid with a deterministic seed-derived rigid jitter per chain.
+// The spacing keeps chains outside covalent-detection range of each other, so
+// the bond graph the fragmentation stage infers has exactly one connected
+// component per chain.
+//
+// This is the repository's first non-protein, non-water workload: the QF
+// partitioner has no peptide bonds to cut here and rejects the system, while
+// the graph partitioner fragments each chain across its severable C–C and
+// C–O single bonds (see FRAGMENTATION.md). Each chain is one entry of
+// System.Molecules with residue name "PEG" and 7·monomers+3 atoms.
+func BuildPolymerMelt(chains, monomers int, seed int64) *System {
+	if chains < 1 {
+		chains = 1
+	}
+	if monomers < 1 {
+		monomers = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// 6 Å between chain axes: side-group hydrogens reach ~1 Å off the
+	// backbone and the jitter another 0.3 Å, leaving > 3 Å of vacuum —
+	// far outside every covalent-detection threshold.
+	const chainSpacing = 6.0
+	// Chains per grid row before wrapping to the next z level.
+	const perRow = 8
+
+	sys := &System{}
+	for ch := 0; ch < chains; ch++ {
+		jitter := geom.V(rng.Float64()-0.5, rng.Float64()-0.5, rng.Float64()-0.5).Scale(0.6)
+		origin := geom.V(0, float64(ch%perRow)*chainSpacing, float64(ch/perRow)*chainSpacing).Add(jitter)
+		first := len(sys.Atoms)
+		buildPEGChain(&sys.Atoms, origin, monomers)
+		sys.Molecules = append(sys.Molecules, Residue{
+			Name: "PEG", First: first, Count: len(sys.Atoms) - first,
+			Chain: ch, N: -1, CA: -1, C: -1, O: -1,
+		})
+	}
+	return sys
+}
+
+// buildPEGChain appends one HO–(CH₂–CH₂–O)ₙ–H chain starting at origin.
+// Backbone heavy atoms are O, (C, C, O)×n; every carbon carries two
+// hydrogens and both terminal oxygens a hydroxyl hydrogen.
+func buildPEGChain(atoms *[]Atom, origin geom.Vec3, monomers int) {
+	els := make([]constants.Element, 0, 1+3*monomers)
+	els = append(els, constants.O)
+	for m := 0; m < monomers; m++ {
+		els = append(els, constants.C, constants.C, constants.O)
+	}
+
+	// Backbone positions: alternate zig directions scaled per bond.
+	pos := make([]geom.Vec3, len(els))
+	dirs := make([]geom.Vec3, len(els)) // dirs[k] = unit direction of bond k−1→k
+	pos[0] = origin
+	for k := 1; k < len(els); k++ {
+		sign := 1.0
+		if k%2 == 0 {
+			sign = -1
+		}
+		d := geom.V(zigA, 0, sign*zigC)
+		dirs[k] = d
+		pos[k] = pos[k-1].Add(d.Scale(bondLength(els[k-1], els[k])))
+	}
+	dirs[0] = dirs[1] // incoming direction for the head oxygen's slot frame
+
+	add := func(el constants.Element, p geom.Vec3, name string) {
+		*atoms = append(*atoms, Atom{El: el, Pos: p, Name: name})
+	}
+	name := func(el constants.Element, k int) string {
+		if el == constants.O {
+			return "O" + itoa(k)
+		}
+		return "C" + itoa(k)
+	}
+
+	for k := range els {
+		add(els[k], pos[k], name(els[k], k))
+		switch {
+		case k == 0:
+			// Head hydroxyl: H opposite the first backbone bond, tilted in y.
+			hd := geom.V(-zigA, 0.5, -zigC).Normalize()
+			add(constants.H, pos[0].Add(hd.Scale(bondLength(constants.O, constants.H))), "HO0")
+		case k == len(els)-1:
+			// Tail hydroxyl: continue the zig-zag with an O–H bond.
+			slots := tetrahedralDirs(dirs[k], geom.V(1, 0, 0))
+			add(constants.H, pos[k].Add(slots[0].Scale(bondLength(constants.O, constants.H))), "HO"+itoa(k))
+		case els[k] == constants.C:
+			// Two methylene hydrogens in the out-of-plane slots.
+			slots := tetrahedralDirs(dirs[k], dirs[k+1])
+			hl := bondLength(constants.C, constants.H)
+			add(constants.H, pos[k].Add(slots[1].Scale(hl)), "H"+itoa(k)+"A")
+			add(constants.H, pos[k].Add(slots[2].Scale(hl)), "H"+itoa(k)+"B")
+		}
+	}
+}
+
+// itoa is a tiny strconv.Itoa for non-negative atom numbering.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

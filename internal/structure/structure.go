@@ -39,11 +39,18 @@ type Residue struct {
 func (r Residue) IsWater() bool { return r.Name == "HOH" }
 
 // System is a molecular system: an optional protein chain (Residues, in
-// chain order) plus any number of water molecules.
+// chain order), any number of water molecules, and any number of generic
+// non-protein molecules (ligands, polymers, …) that only the graph
+// partitioner can fragment.
 type System struct {
 	Atoms    []Atom
 	Residues []Residue // protein residues in chain order
 	Waters   []Residue
+	// Molecules holds generic molecules: contiguous atom runs with no
+	// backbone annotation (N/CA/C/O are −1). The QF partitioner rejects
+	// systems containing them; the graph partitioner infers their covalent
+	// topology from geometry (see FRAGMENTATION.md).
+	Molecules []Residue
 }
 
 // NumAtoms returns the total atom count.
@@ -153,6 +160,17 @@ func (s *System) Validate() error {
 			return fmt.Errorf("structure: water with %d atoms", w.Count)
 		}
 	}
+	for _, m := range s.Molecules {
+		if m.IsWater() {
+			return fmt.Errorf("structure: water residue in Molecules")
+		}
+		if IsAminoAcidName(m.Name) {
+			return fmt.Errorf("structure: amino-acid residue %q in Molecules", m.Name)
+		}
+		if m.First < 0 || m.Count <= 0 || m.First+m.Count > len(s.Atoms) {
+			return fmt.Errorf("structure: molecule %q has invalid atom range [%d,%d)", m.Name, m.First, m.First+m.Count)
+		}
+	}
 	return nil
 }
 
@@ -163,11 +181,10 @@ func (s *System) Merge(other *System) {
 	s.Atoms = append(s.Atoms, other.Atoms...)
 	shift := func(r Residue) Residue {
 		r.First += off
-		if !r.IsWater() {
-			r.N += off
-			r.CA += off
-			r.C += off
-			r.O += off
+		for _, idx := range []*int{&r.N, &r.CA, &r.C, &r.O} {
+			if *idx >= 0 {
+				*idx += off
+			}
 		}
 		return r
 	}
@@ -176,5 +193,8 @@ func (s *System) Merge(other *System) {
 	}
 	for _, w := range other.Waters {
 		s.Waters = append(s.Waters, shift(w))
+	}
+	for _, m := range other.Molecules {
+		s.Molecules = append(s.Molecules, shift(m))
 	}
 }

@@ -1,7 +1,12 @@
 #!/bin/sh
-# check_pkgdocs.sh — CI gate: every package must carry a package doc comment
-# ("// Package <name> ..." for libraries, "// Command <name> ..." for mains)
-# so godoc explains which part of the paper each layer reproduces.
+# check_pkgdocs.sh — CI docs gate.
+#
+# 1. Every package must carry a package doc comment ("// Package <name> ..."
+#    for libraries, "// Command <name> ..." for mains) so godoc explains
+#    which part of the paper each layer reproduces.
+# 2. Every relative inter-document link in the repo's *.md files must
+#    resolve to an existing file, so the doc set (README, ARCHITECTURE,
+#    DESIGN, FRAGMENTATION, EXPERIMENTS, ...) never drifts into dead links.
 set -eu
 
 fail=0
@@ -12,8 +17,28 @@ for dir in internal/*/ cmd/*/; do
         fail=1
     fi
 done
+
+# Markdown link gate: extract [text](target) targets, keep relative ones
+# (skip http(s)/mailto and pure #anchors), strip any #fragment, and require
+# the file to exist relative to the linking document.
+for md in *.md; do
+    [ -f "$md" ] || continue
+    links=$(grep -o '\[[^]]*\]([^)]*)' "$md" | sed 's/.*](\([^)]*\))/\1/') || true
+    for target in $links; do
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path=${target%%#*}
+        [ -n "$path" ] || continue
+        if [ ! -e "$(dirname "$md")/$path" ]; then
+            echo "dead markdown link: $md -> $target"
+            fail=1
+        fi
+    done
+done
+
 if [ "$fail" -ne 0 ]; then
-    echo "package doc gate failed — add godoc comments citing the paper section (see ARCHITECTURE.md)"
+    echo "docs gate failed — fix godoc comments / markdown links (see ARCHITECTURE.md)"
     exit 1
 fi
-echo "package doc gate: all packages documented"
+echo "docs gate: all packages documented, all markdown links resolve"
